@@ -1,0 +1,125 @@
+// Command wmansim reproduces the paper's evaluation. Each experiment
+// prints the series the corresponding figure plots, as an aligned table
+// or CSV.
+//
+// Usage:
+//
+//	wmansim -exp fig1            # Figure 1 (SSAF vs counter-1 flooding)
+//	wmansim -exp fig2            # Figure 2 (congestion avoidance, + map)
+//	wmansim -exp fig3            # Figure 3 (Routeless vs AODV)
+//	wmansim -exp fig4            # Figure 4 (… under node failures)
+//	wmansim -exp abl1|abl2|abl3|abl4
+//	wmansim -exp all
+//
+// Scale selection:
+//
+//	-scale full    paper scale (500 nodes / 2000 m for routing; slow)
+//	-scale small   reduced scale with the same density (default)
+//
+// Other flags: -seeds N (replications), -duration S, -workers N,
+// -csv (machine-readable output), -width (fig2 map width).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"routeless/internal/experiments"
+	"routeless/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|all")
+		scale    = flag.String("scale", "small", "full (paper scale) or small (same density, faster)")
+		seeds    = flag.Int("seeds", 3, "independent replications per point")
+		duration = flag.Float64("duration", 0, "traffic seconds per run (0 = scale default)")
+		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		width    = flag.Int("width", 76, "figure 2 map width in characters")
+	)
+	flag.Parse()
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+
+	full := *scale == "full"
+	if !full && *scale != "small" {
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration}
+	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration}
+	fig2 := experiments.Fig2Config{Seed: seedList[0]}
+	if !full {
+		// Same node density as the paper, quarter the area.
+		fig1.Nodes, fig1.Terrain = 60, 800
+		fig1.Connections = 20
+		fig34.Nodes, fig34.Terrain = 200, 1265
+		if fig34.Duration == 0 {
+			fig34.Duration = 30
+		}
+		if fig1.Duration == 0 {
+			fig1.Duration = 20
+		}
+		fig2.Nodes, fig2.Terrain = 300, 1500
+		fig2.Duration = 30
+	}
+
+	show := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig1":
+			show(experiments.Fig1Table(experiments.RunFig1(fig1)))
+		case "fig2":
+			res := experiments.RunFig2(fig2)
+			show(experiments.Fig2Table(res))
+			if !*csv {
+				fmt.Println(experiments.Fig2Render(res, *width))
+			}
+		case "fig3":
+			show(experiments.Fig3Table(experiments.RunFig3(fig34)))
+		case "fig4":
+			show(experiments.Fig4Table(experiments.RunFig4(fig34)))
+		case "abl1":
+			show(experiments.Abl1Table(experiments.RunAbl1(fig1)))
+		case "abl2":
+			show(experiments.Abl2Table(experiments.RunAbl2(fig34, nil, 5)))
+		case "abl3":
+			show(experiments.Abl3Table(experiments.RunAbl3(nil, 0, 10e-3, seedList[0])))
+		case "abl4":
+			show(experiments.Abl4Table(experiments.RunAbl4(fig34)))
+		case "abl5":
+			show(experiments.Abl5Table(experiments.RunAbl5(fig34, nil, 5)))
+		case "abl6":
+			show(experiments.Abl6Table(experiments.RunAbl6(fig34)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if !*csv {
+			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "abl1", "abl2", "abl3", "abl4", "abl5", "abl6"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,68 @@
+// SSAF demo: the paper's §3 comparison on one field. A 100-node sensor
+// field floods CBR traffic over 20 random connections with counter-1
+// flooding and with Signal Strength Aware Flooding, and prints the
+// three metrics of Figure 1 side by side plus the transmission counts.
+//
+//	go run ./examples/ssaf
+package main
+
+import (
+	"fmt"
+
+	"routeless"
+)
+
+func run(ssaf bool) (m routeless.Meter, macPackets uint64) {
+	nw := routeless.NewNetwork(routeless.NetworkConfig{
+		N: 100, Rect: routeless.NewRect(1000, 1000), Seed: 7, EnsureConnected: true,
+	})
+
+	var cfg routeless.FloodConfig
+	if ssaf {
+		// RSSI span: decode threshold at 250 m up to the power at 25 m.
+		cfg = routeless.SSAFConfig(10e-3, -55.1, -33.2)
+	} else {
+		cfg = routeless.Counter1Config(10e-3)
+	}
+	nw.Install(func(n *routeless.Node) routeless.Protocol {
+		return routeless.NewFlooding(cfg)
+	})
+
+	for _, n := range nw.Nodes {
+		n := n
+		n.OnAppReceive = func(p *routeless.Packet) {
+			m.PacketReceived(float64(nw.Kernel.Now()-p.CreatedAt), p.HopCount)
+		}
+	}
+	pairs := routeless.RandomPairs(nw.Kernel.Rand(), len(nw.Nodes), 20)
+	var flows []*routeless.CBR
+	for _, p := range pairs {
+		c := routeless.NewCBR(nw.Nodes[p.Src], p.Dst, 1.0, 64)
+		c.OnSend = m.PacketSent
+		c.Start()
+		flows = append(flows, c)
+	}
+	nw.Run(20)
+	for _, c := range flows {
+		c.Stop()
+	}
+	nw.Run(25) // drain
+	return m, nw.MACPackets()
+}
+
+func main() {
+	c1, c1Pkts := run(false)
+	ss, ssPkts := run(true)
+
+	t := routeless.NewTable("counter-1 flooding vs SSAF (100 nodes, 20 CBR connections, 20 s)",
+		"metric", "counter-1", "ssaf")
+	t.AddRow("delivery ratio", c1.DeliveryRatio(), ss.DeliveryRatio())
+	t.AddRow("end-to-end delay (ms)", c1.Delay.Mean()*1e3, ss.Delay.Mean()*1e3)
+	t.AddRow("average hops", c1.Hops.Mean(), ss.Hops.Mean())
+	t.AddRow("MAC transmissions", c1Pkts, ssPkts)
+	fmt.Println(t)
+
+	fmt.Println("SSAF gives distant receivers the shortest rebroadcast backoff, so the")
+	fmt.Println("flood front advances in larger strides: fewer hops and lower delay for")
+	fmt.Println("the same per-node transmit-once cost (§3).")
+}

@@ -1,0 +1,3 @@
+module routeless
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation plus the ablations listed in DESIGN.md. Each figure has a
+// Config (defaults reproduce the paper's scale; tests and benches scale
+// down), a Run function that sweeps the figure's x-axis across seeds in
+// parallel, and a Table formatter that prints the series the paper
+// plots.
+package experiments
+
+import (
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+	"routeless/internal/stats"
+)
+
+// RunMetrics is one simulation run's outcome in the paper's units.
+type RunMetrics struct {
+	Delay      float64 // mean end-to-end delay, seconds
+	Hops       float64 // mean hop count of delivered packets
+	Delivery   float64 // delivered / sent
+	MACPackets float64 // total MAC-layer transmissions
+	EnergyJ    float64 // total radio energy, joules
+}
+
+// Agg aggregates RunMetrics across seeds.
+type Agg struct {
+	Delay, Hops, Delivery, MACPackets, EnergyJ stats.Welford
+}
+
+// Add folds one run into the aggregate.
+func (a *Agg) Add(m RunMetrics) {
+	a.Delay.Add(m.Delay)
+	a.Hops.Add(m.Hops)
+	a.Delivery.Add(m.Delivery)
+	a.MACPackets.Add(m.MACPackets)
+	a.EnergyJ.Add(m.EnergyJ)
+}
+
+// meterAll attaches a delivery meter to every node: any application
+// delivery is scored by creation-time delay and traversed hops.
+func meterAll(nw *node.Network, m *stats.Meter) {
+	for _, n := range nw.Nodes {
+		n := n
+		n.OnAppReceive = func(p *packet.Packet) {
+			m.PacketReceived(float64(nw.Kernel.Now()-p.CreatedAt), p.HopCount)
+		}
+	}
+}
+
+// collect converts a finished network + meter into RunMetrics.
+func collect(nw *node.Network, m *stats.Meter) RunMetrics {
+	return RunMetrics{
+		Delay:      m.Delay.Mean(),
+		Hops:       m.Hops.Mean(),
+		Delivery:   m.DeliveryRatio(),
+		MACPackets: float64(nw.MACPackets()),
+		EnergyJ:    nw.TotalEnergy(),
+	}
+}
+
+// drainTime is how long runs continue after traffic stops so in-flight
+// packets can land.
+const drainTime sim.Time = 5
+
+// simTime re-exports sim.Time for test ergonomics.
+type simTime = sim.Time

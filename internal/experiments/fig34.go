@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"routeless/internal/geo"
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/parallel"
+	"routeless/internal/rng"
+	"routeless/internal/routing"
+	"routeless/internal/sim"
+	"routeless/internal/stats"
+	"routeless/internal/traffic"
+)
+
+// RoutingProto selects the protocol under test in Figures 3 and 4.
+type RoutingProto string
+
+// Protocols the routing experiments can run.
+const (
+	ProtoRouteless RoutingProto = "routeless"
+	ProtoAODV      RoutingProto = "aodv"
+	ProtoGradient  RoutingProto = "gradient"
+)
+
+// Fig34Config covers both routing figures: Figure 3 sweeps the number
+// of communicating pairs with no failures; Figure 4 fixes the pairs and
+// sweeps the node-failure percentage. Paper scale: 500 nodes in
+// 2000×2000 m, range ≈250 m, bidirectional CBR.
+type Fig34Config struct {
+	Nodes    int      // default 500
+	Terrain  float64  // default 2000
+	Range    float64  // default 250
+	Interval float64  // CBR interval per direction, default 1 s
+	Duration float64  // traffic seconds, default 60
+	Seeds    []int64  // default {1,2,3}
+	Workers  int      // default GOMAXPROCS
+	Lambda   sim.Time // Routeless λ, default 10 ms
+	DataSize int      // CBR payload bytes; default 64
+
+	// Pairs is Figure 3's x-axis; default 1..10.
+	Pairs []int
+	// FailurePcts is Figure 4's x-axis (fractions); default 0..0.10.
+	FailurePcts []float64
+	// Fig4Pairs is the fixed pair count for Figure 4; default 10.
+	Fig4Pairs int
+}
+
+func (c Fig34Config) withDefaults() Fig34Config {
+	if c.Nodes == 0 {
+		c.Nodes = 500
+	}
+	if c.Terrain == 0 {
+		c.Terrain = 2000
+	}
+	if c.Range == 0 {
+		c.Range = 250
+	}
+	if c.Interval == 0 {
+		c.Interval = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 60
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 10e-3
+	}
+	if c.DataSize == 0 {
+		// Sensor-scale readings, matching the Figure 1 setup; see the
+		// DataSize note there.
+		c.DataSize = 64
+	}
+	if len(c.Pairs) == 0 {
+		c.Pairs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	}
+	if len(c.FailurePcts) == 0 {
+		c.FailurePcts = []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10}
+	}
+	if c.Fig4Pairs == 0 {
+		c.Fig4Pairs = 10
+	}
+	return c
+}
+
+// runRoutingOnce builds a network, installs the protocol, starts
+// bidirectional CBR over `pairs` connections, injects duty-cycle
+// failures on non-endpoint nodes, and measures.
+func runRoutingOnce(cfg Fig34Config, proto RoutingProto, pairs int, failurePct float64, seed int64) RunMetrics {
+	nw := node.New(node.Config{
+		N:               cfg.Nodes,
+		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
+		Range:           cfg.Range,
+		Seed:            seed,
+		EnsureConnected: true,
+	})
+	switch proto {
+	case ProtoRouteless:
+		rcfg := routing.RoutelessConfig{Lambda: cfg.Lambda}
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })
+	case ProtoAODV:
+		acfg := routing.AODVConfig{NoHello: true}
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewAODV(acfg) })
+	case ProtoGradient:
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewGradient(routing.GradientConfig{}) })
+	default:
+		panic("experiments: unknown protocol " + string(proto))
+	}
+
+	var meter stats.Meter
+	meterAll(nw, &meter)
+
+	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, pairs)
+	endpoint := make(map[packet.NodeID]bool, 2*pairs)
+	var cbrs []*traffic.CBR
+	for _, p := range conns {
+		endpoint[p.Src] = true
+		endpoint[p.Dst] = true
+		// "the traffic being bidirectional" (§4.3): both directions.
+		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
+		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
+		fwd.OnSend = meter.PacketSent
+		rev.OnSend = meter.PacketSent
+		fwd.Start()
+		rev.Start()
+		cbrs = append(cbrs, fwd, rev)
+	}
+
+	// "node failures are artificially introduced to turn off
+	// transceivers in all nodes but those that generate and receive CBR
+	// traffic" (§4.3).
+	if failurePct > 0 {
+		for _, n := range nw.Nodes {
+			if endpoint[n.ID] {
+				continue
+			}
+			fp := node.NewFailureProcess(n, rng.ForNode(seed, rng.StreamFailure, int(n.ID)))
+			fp.OffFraction = failurePct
+			fp.Start()
+		}
+	}
+
+	nw.Run(sim.Time(cfg.Duration))
+	for _, c := range cbrs {
+		c.Stop()
+	}
+	nw.Run(sim.Time(cfg.Duration) + drainTime)
+	return collect(nw, &meter)
+}
+
+// Fig3Row is one x-axis point of the four Figure 3 panels.
+type Fig3Row struct {
+	Pairs     int
+	AODV      Agg
+	Routeless Agg
+}
+
+// RunFig3 sweeps the number of communicating pairs with no failures.
+func RunFig3(cfg Fig34Config) []Fig3Row {
+	cfg = cfg.withDefaults()
+	type job struct {
+		pairs int
+		proto RoutingProto
+		seed  int64
+	}
+	var jobs []job
+	for _, p := range cfg.Pairs {
+		for _, s := range cfg.Seeds {
+			jobs = append(jobs, job{p, ProtoAODV, s}, job{p, ProtoRouteless, s})
+		}
+	}
+	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
+		j := jobs[i]
+		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed)
+	})
+	idx := map[int]int{}
+	rows := make([]Fig3Row, len(cfg.Pairs))
+	for i, p := range cfg.Pairs {
+		rows[i].Pairs = p
+		idx[p] = i
+	}
+	for i, j := range jobs {
+		row := &rows[idx[j.pairs]]
+		if j.proto == ProtoAODV {
+			row.AODV.Add(results[i])
+		} else {
+			row.Routeless.Add(results[i])
+		}
+	}
+	return rows
+}
+
+// Fig3Table renders the four panels as one table.
+func Fig3Table(rows []Fig3Row) *stats.Table {
+	t := stats.NewTable(
+		"Figure 3 — Routeless Routing vs AODV, no failures (bidirectional CBR)",
+		"pairs",
+		"aodv_delay_s", "rr_delay_s",
+		"aodv_delivery", "rr_delivery",
+		"aodv_mac_pkts", "rr_mac_pkts",
+		"aodv_hops", "rr_hops",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Pairs,
+			r.AODV.Delay.Mean(), r.Routeless.Delay.Mean(),
+			r.AODV.Delivery.Mean(), r.Routeless.Delivery.Mean(),
+			r.AODV.MACPackets.Mean(), r.Routeless.MACPackets.Mean(),
+			r.AODV.Hops.Mean(), r.Routeless.Hops.Mean(),
+		)
+	}
+	return t
+}
+
+// Fig4Row is one x-axis point of the four Figure 4 panels.
+type Fig4Row struct {
+	FailurePct float64
+	AODV       Agg
+	Routeless  Agg
+}
+
+// RunFig4 sweeps the node-failure percentage at a fixed pair count.
+func RunFig4(cfg Fig34Config) []Fig4Row {
+	cfg = cfg.withDefaults()
+	type job struct {
+		pct   float64
+		proto RoutingProto
+		seed  int64
+	}
+	var jobs []job
+	for _, pct := range cfg.FailurePcts {
+		for _, s := range cfg.Seeds {
+			jobs = append(jobs, job{pct, ProtoAODV, s}, job{pct, ProtoRouteless, s})
+		}
+	}
+	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
+		j := jobs[i]
+		return runRoutingOnce(cfg, j.proto, cfg.Fig4Pairs, j.pct, j.seed)
+	})
+	idx := map[float64]int{}
+	rows := make([]Fig4Row, len(cfg.FailurePcts))
+	for i, pct := range cfg.FailurePcts {
+		rows[i].FailurePct = pct
+		idx[pct] = i
+	}
+	for i, j := range jobs {
+		row := &rows[idx[j.pct]]
+		if j.proto == ProtoAODV {
+			row.AODV.Add(results[i])
+		} else {
+			row.Routeless.Add(results[i])
+		}
+	}
+	return rows
+}
+
+// Fig4Table renders the four panels as one table.
+func Fig4Table(rows []Fig4Row) *stats.Table {
+	t := stats.NewTable(
+		"Figure 4 — Routeless Routing vs AODV under duty-cycle node failures",
+		"failure_pct",
+		"aodv_delay_s", "rr_delay_s",
+		"aodv_delivery", "rr_delivery",
+		"aodv_mac_pkts", "rr_mac_pkts",
+		"aodv_hops", "rr_hops",
+	)
+	for _, r := range rows {
+		t.AddRow(r.FailurePct,
+			r.AODV.Delay.Mean(), r.Routeless.Delay.Mean(),
+			r.AODV.Delivery.Mean(), r.Routeless.Delivery.Mean(),
+			r.AODV.MACPackets.Mean(), r.Routeless.MACPackets.Mean(),
+			r.AODV.Hops.Mean(), r.Routeless.Hops.Mean(),
+		)
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkWithinRadius measures the channel's neighbor query on a
+// paper-scale field (500 nodes, 2 km², 550 m cutoff).
+func BenchmarkWithinRadius(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rect := NewRect(2000, 2000)
+	pts := UniformPoints(r, rect, 500)
+	g := NewGrid(rect, 275, pts)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.WithinRadius(buf[:0], pts[i%len(pts)], 550, i%len(pts))
+	}
+}
+
+// BenchmarkWithinRadiusBrute is the O(n) baseline the grid replaces.
+func BenchmarkWithinRadiusBrute(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rect := NewRect(2000, 2000)
+	pts := UniformPoints(r, rect, 500)
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		c := pts[i%len(pts)]
+		for j, p := range pts {
+			if j != i%len(pts) && p.Dist(c) <= 550 {
+				buf = append(buf, j)
+			}
+		}
+	}
+}
+
+// BenchmarkNearest measures endpoint anchoring queries.
+func BenchmarkNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rect := NewRect(2000, 2000)
+	pts := UniformPoints(r, rect, 500)
+	g := NewGrid(rect, 200, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Nearest(Point{X: float64(i % 2000), Y: float64((i * 7) % 2000)})
+	}
+}

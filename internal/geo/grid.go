@@ -1,0 +1,178 @@
+package geo
+
+import "math"
+
+// Grid is a uniform-cell spatial index over a fixed set of points.
+// Queries return the ids of points within a radius of a center. Cell
+// size should be on the order of the query radius; the wireless channel
+// uses the carrier-sense range.
+//
+// The index is static: node positions in this repository's experiments
+// do not move (the paper's scenarios are static sensor fields; failures
+// are modeled as transceiver off-time, not motion). A MoveTo method is
+// provided for completeness and for the mobility extension.
+type Grid struct {
+	cell   float64
+	cols   int
+	rows   int
+	origin Point
+	cells  [][]int32 // cell -> point ids
+	pts    []Point
+	loc    []int32 // point id -> cell index
+}
+
+// NewGrid builds an index over pts covering rect with the given cell
+// size. Points outside rect are clamped into the boundary cells.
+func NewGrid(rect Rect, cell float64, pts []Point) *Grid {
+	if cell <= 0 {
+		panic("geo: cell size must be positive")
+	}
+	cols := int(math.Ceil(rect.Width()/cell)) + 1
+	rows := int(math.Ceil(rect.Height()/cell)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := &Grid{
+		cell:   cell,
+		cols:   cols,
+		rows:   rows,
+		origin: rect.Min,
+		cells:  make([][]int32, cols*rows),
+		pts:    append([]Point(nil), pts...),
+		loc:    make([]int32, len(pts)),
+	}
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+		g.loc[i] = int32(c)
+	}
+	return g
+}
+
+func (g *Grid) cellOf(p Point) int {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// At returns the position of point id.
+func (g *Grid) At(id int) Point { return g.pts[id] }
+
+// MoveTo updates the position of point id, relocating it between cells
+// when necessary.
+func (g *Grid) MoveTo(id int, p Point) {
+	old := g.loc[id]
+	g.pts[id] = p
+	nc := int32(g.cellOf(p))
+	if nc == old {
+		return
+	}
+	bucket := g.cells[old]
+	for i, v := range bucket {
+		if v == int32(id) {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[old] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	g.cells[nc] = append(g.cells[nc], int32(id))
+	g.loc[id] = nc
+}
+
+// WithinRadius appends to dst the ids of all points within radius of
+// center (excluding the id `exclude`; pass a negative value to exclude
+// nothing) and returns the extended slice. Results are not ordered.
+func (g *Grid) WithinRadius(dst []int, center Point, radius float64, exclude int) []int {
+	r2 := radius * radius
+	minCX := int((center.X - radius - g.origin.X) / g.cell)
+	maxCX := int((center.X + radius - g.origin.X) / g.cell)
+	minCY := int((center.Y - radius - g.origin.Y) / g.cell)
+	maxCY := int((center.Y + radius - g.origin.Y) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		row := cy * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[row+cx] {
+				if int(id) == exclude {
+					continue
+				}
+				if g.pts[id].Dist2(center) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the id of the indexed point closest to center, or -1
+// when the grid is empty. Expanding ring search over cells.
+func (g *Grid) Nearest(center Point) int {
+	best, bestD2 := -1, math.MaxFloat64
+	// Expand radius ring by ring until a hit is found and the ring
+	// distance exceeds the best hit.
+	maxRing := g.cols
+	if g.rows > g.cols {
+		maxRing = g.rows
+	}
+	ccx := int((center.X - g.origin.X) / g.cell)
+	ccy := int((center.Y - g.origin.Y) / g.cell)
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 {
+			ringDist := (float64(ring) - 1) * g.cell
+			if ringDist > 0 && ringDist*ringDist > bestD2 {
+				break
+			}
+		}
+		for cy := ccy - ring; cy <= ccy+ring; cy++ {
+			if cy < 0 || cy >= g.rows {
+				continue
+			}
+			for cx := ccx - ring; cx <= ccx+ring; cx++ {
+				if cx < 0 || cx >= g.cols {
+					continue
+				}
+				// Only the ring boundary; interior was scanned already.
+				if ring > 0 && cx > ccx-ring && cx < ccx+ring && cy > ccy-ring && cy < ccy+ring {
+					continue
+				}
+				for _, id := range g.cells[cy*g.cols+cx] {
+					d2 := g.pts[id].Dist2(center)
+					if d2 < bestD2 {
+						bestD2, best = d2, int(id)
+					}
+				}
+			}
+		}
+	}
+	return best
+}

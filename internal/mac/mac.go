@@ -1,0 +1,421 @@
+// Package mac implements a simplified CSMA/CA medium-access layer over
+// internal/phy: carrier sensing with DIFS and slotted random backoff,
+// fire-and-forget broadcast frames, and stop-and-wait unicast with
+// link-layer acknowledgements and bounded retransmission (the mechanism
+// AODV relies on for link-failure detection).
+//
+// The outgoing queue between the network layer and the MAC is a
+// priority queue keyed by the network layer's backoff delay; the paper
+// depends on this queue for SSAF's delay improvement under load (§3).
+package mac
+
+import (
+	"math/rand"
+
+	"routeless/internal/packet"
+	"routeless/internal/phy"
+	"routeless/internal/sim"
+)
+
+// Config holds MAC timing and retry parameters. Defaults mirror
+// 802.11-class numbers at 1 Mbps.
+type Config struct {
+	SlotTime   sim.Time // backoff slot length
+	DIFS       sim.Time // idle time required before contending
+	SIFS       sim.Time // gap before a link-layer ACK
+	MinCW      int      // initial contention window (slots)
+	MaxCW      int      // contention window cap after retries
+	RetryLimit int      // unicast retransmissions before giving up
+	AckTimeout sim.Time // wait for a link-layer ACK
+	QueueCap   int      // outgoing queue capacity (frames)
+}
+
+// DefaultConfig returns 802.11-flavored parameters.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:   20e-6,
+		DIFS:       50e-6,
+		SIFS:       10e-6,
+		MinCW:      32,
+		MaxCW:      1024,
+		RetryLimit: 5,
+		AckTimeout: 2e-3,
+		QueueCap:   64,
+	}
+}
+
+// Handler is the network layer's upward interface. Every decoded frame
+// is delivered (promiscuous mode): Routeless Routing learns distances
+// "by passively listening to all packets" (§4.1), so protocols filter
+// on pkt.To themselves.
+type Handler interface {
+	// OnDeliver reports a decoded frame with its receive power.
+	OnDeliver(pkt *packet.Packet, rssiDBm float64)
+	// OnSent reports that a frame handed to Enqueue left the air
+	// (broadcast) or was acknowledged (unicast).
+	OnSent(pkt *packet.Packet)
+	// OnUnicastFailed reports that a unicast frame exhausted its
+	// retries — the link-break signal.
+	OnUnicastFailed(pkt *packet.Packet)
+}
+
+// Stats counts MAC events. TxFrames counts every transmission attempt
+// including retries and ACKs: it is the paper's "Number of MAC Packets"
+// metric (Figures 3 and 4).
+type Stats struct {
+	Enqueued      uint64
+	DroppedFull   uint64
+	TxFrames      uint64
+	TxAcks        uint64
+	Retries       uint64
+	UnicastFailed uint64
+	Delivered     uint64
+	AcksReceived  uint64
+	DroppedPaused uint64
+	Dequeued      uint64
+	DupRx         uint64
+}
+
+type macState uint8
+
+const (
+	stIdle    macState = iota // nothing to send
+	stWait                    // head frame waiting for medium idle
+	stDIFS                    // sensing idle for DIFS
+	stBackoff                 // counting down backoff slots
+	stTx                      // frame on the air
+	stAck                     // unicast sent, awaiting ACK
+	stPaused                  // radio off/asleep
+)
+
+// MAC is one node's medium-access instance.
+type MAC struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	radio   *phy.Radio
+	rng     *rand.Rand
+	handler Handler
+
+	queue   *prioQueue
+	current *entry
+	state   macState
+
+	slotsLeft int
+	cw        int
+	retries   int
+	access    *sim.Timer // drives DIFS, backoff slots, and ACK timeout
+	pendingTx *packet.Packet
+
+	// ackRef is the UID of the unicast frame awaiting acknowledgement.
+	ackRef uint64
+
+	// rxSeen remembers recently delivered unicast frame UIDs so that
+	// ARQ retransmissions (our ACK was lost) are re-acknowledged but
+	// not delivered upward twice.
+	rxSeen     map[uint64]struct{}
+	rxSeenFIFO []uint64
+
+	stats Stats
+}
+
+// New wires a MAC onto a radio. It installs itself as the radio's
+// listener.
+func New(k *sim.Kernel, radio *phy.Radio, cfg Config, rng *rand.Rand) *MAC {
+	m := &MAC{
+		cfg:    cfg,
+		kernel: k,
+		radio:  radio,
+		rng:    rng,
+		queue:  newPrioQueue(cfg.QueueCap),
+		cw:     cfg.MinCW,
+		rxSeen: make(map[uint64]struct{}),
+	}
+	m.access = sim.NewTimer(k, m.onAccessTimer)
+	radio.SetListener(m)
+	return m
+}
+
+// SetHandler installs the network layer.
+func (m *MAC) SetHandler(h Handler) { m.handler = h }
+
+// Stats returns a snapshot of the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen returns the number of frames waiting behind the current one.
+func (m *MAC) QueueLen() int { return m.queue.len() }
+
+// ID returns the node id of the underlying radio.
+func (m *MAC) ID() packet.NodeID { return m.radio.ID() }
+
+// Enqueue hands a frame to the MAC with a queue priority (lower is
+// served first — network layers pass their backoff delay). It reports
+// false when the queue is full and the frame was dropped.
+func (m *MAC) Enqueue(pkt *packet.Packet, priority float64) bool {
+	m.stats.Enqueued++
+	if !m.queue.push(pkt, priority) {
+		m.stats.DroppedFull++
+		return false
+	}
+	if m.state == stIdle {
+		m.nextFrame()
+	}
+	return true
+}
+
+// Dequeue withdraws a frame that has not yet reached the air: either
+// still in the priority queue, or the head frame while it is
+// contending. It reports whether the frame was withdrawn; false means
+// the frame is on the air (or already gone) and cannot be recalled.
+//
+// Network layers use this to complete a cancelled relay election: the
+// paper's backoff cancellation must also cover packets waiting in the
+// NET→MAC queue, otherwise a lost election still transmits.
+func (m *MAC) Dequeue(pkt *packet.Packet) bool {
+	if m.current != nil && m.current.pkt == pkt {
+		switch m.state {
+		case stWait, stDIFS, stBackoff:
+			m.access.Stop()
+			m.current = nil
+			m.state = stIdle
+			m.stats.Dequeued++
+			m.nextFrame()
+			return true
+		}
+		return false
+	}
+	if m.queue.remove(pkt) {
+		m.stats.Dequeued++
+		return true
+	}
+	return false
+}
+
+// Pause halts the MAC while its radio is off or asleep. Queued frames
+// are kept; the frame in flight (if any) is abandoned without
+// link-failure indication — exactly the silent-death behavior the
+// paper's failure experiments need.
+func (m *MAC) Pause() {
+	m.access.Stop()
+	if m.current != nil {
+		// Back in the queue; it will recontend after Resume.
+		if !m.queue.push(m.current.pkt, m.current.priority) {
+			m.stats.DroppedPaused++
+		}
+		m.current = nil
+	}
+	m.pendingTx = nil
+	m.state = stPaused
+}
+
+// Resume restarts medium access after Pause.
+func (m *MAC) Resume() {
+	if m.state != stPaused {
+		return
+	}
+	m.state = stIdle
+	m.retries = 0
+	m.cw = m.cfg.MinCW
+	m.nextFrame()
+}
+
+// Paused reports whether the MAC is halted.
+func (m *MAC) Paused() bool { return m.state == stPaused }
+
+// nextFrame promotes the head of the queue to the contention slot.
+func (m *MAC) nextFrame() {
+	if m.state != stIdle {
+		return
+	}
+	m.current = m.queue.pop()
+	if m.current == nil {
+		return
+	}
+	m.retries = 0
+	m.cw = m.cfg.MinCW
+	m.beginContention()
+}
+
+// beginContention starts (or restarts) the DIFS + backoff dance for the
+// current frame.
+func (m *MAC) beginContention() {
+	m.slotsLeft = m.rng.Intn(m.cw)
+	m.resumeContention()
+}
+
+// resumeContention waits for an idle medium, then DIFS, then counts
+// down the remaining backoff slots.
+func (m *MAC) resumeContention() {
+	if m.radio.CarrierBusy() {
+		m.state = stWait
+		m.access.Stop()
+		return
+	}
+	m.state = stDIFS
+	m.access.Reset(m.cfg.DIFS)
+}
+
+func (m *MAC) onAccessTimer() {
+	switch m.state {
+	case stDIFS:
+		if m.radio.CarrierBusy() {
+			m.state = stWait
+			return
+		}
+		if m.slotsLeft == 0 {
+			m.transmitCurrent()
+			return
+		}
+		m.state = stBackoff
+		m.access.Reset(m.cfg.SlotTime)
+	case stBackoff:
+		if m.radio.CarrierBusy() {
+			m.state = stWait
+			return
+		}
+		m.slotsLeft--
+		if m.slotsLeft <= 0 {
+			m.transmitCurrent()
+			return
+		}
+		m.access.Reset(m.cfg.SlotTime)
+	case stAck:
+		m.ackTimeout()
+	}
+}
+
+func (m *MAC) transmitCurrent() {
+	if !m.radio.On() {
+		m.Pause()
+		return
+	}
+	m.state = stTx
+	m.stats.TxFrames++
+	m.pendingTx = m.current.pkt
+	m.radio.Transmit(m.current.pkt)
+}
+
+// OnTxDone implements phy.Listener.
+func (m *MAC) OnTxDone() {
+	if m.pendingTx == nil {
+		return // an ACK we fired off, or a stale completion after Pause
+	}
+	pkt := m.pendingTx
+	m.pendingTx = nil
+	if pkt.To == packet.Broadcast {
+		m.finishCurrent(pkt, true)
+		return
+	}
+	// Unicast: hold the frame and await the link-layer ACK.
+	m.state = stAck
+	m.ackRef = pkt.UID
+	m.access.Reset(m.cfg.AckTimeout)
+}
+
+func (m *MAC) ackTimeout() {
+	m.stats.Retries++
+	m.retries++
+	if m.retries > m.cfg.RetryLimit {
+		pkt := m.current.pkt
+		m.current = nil
+		m.state = stIdle
+		m.stats.UnicastFailed++
+		if m.handler != nil {
+			m.handler.OnUnicastFailed(pkt)
+		}
+		m.nextFrame()
+		return
+	}
+	if m.cw*2 <= m.cfg.MaxCW {
+		m.cw *= 2
+	}
+	m.beginContention()
+}
+
+func (m *MAC) finishCurrent(pkt *packet.Packet, ok bool) {
+	m.current = nil
+	m.state = stIdle
+	if ok && m.handler != nil {
+		m.handler.OnSent(pkt)
+	}
+	m.nextFrame()
+}
+
+// OnReceive implements phy.Listener.
+func (m *MAC) OnReceive(pkt *packet.Packet, rssiDBm float64) {
+	if pkt.Kind == packet.KindMACAck {
+		if m.state == stAck && pkt.To == m.radio.ID() {
+			if ref, okRef := pkt.Payload.(uint64); okRef && ref == m.ackRef {
+				m.stats.AcksReceived++
+				m.access.Stop()
+				m.finishCurrent(m.current.pkt, true)
+			}
+		}
+		return // ACKs are MAC-internal; never delivered upward
+	}
+	if pkt.To == m.radio.ID() {
+		m.scheduleAck(pkt)
+		if m.seenUID(pkt.UID) {
+			m.stats.DupRx++
+			return // ARQ retransmission: acked again, delivered once
+		}
+	}
+	m.stats.Delivered++
+	if m.handler != nil {
+		m.handler.OnDeliver(pkt, rssiDBm)
+	}
+}
+
+// seenUID records a delivered unicast frame id, bounding memory with a
+// FIFO window.
+func (m *MAC) seenUID(uid uint64) bool {
+	if _, ok := m.rxSeen[uid]; ok {
+		return true
+	}
+	const window = 256
+	if len(m.rxSeenFIFO) >= window {
+		old := m.rxSeenFIFO[0]
+		m.rxSeenFIFO = m.rxSeenFIFO[1:]
+		delete(m.rxSeen, old)
+	}
+	m.rxSeen[uid] = struct{}{}
+	m.rxSeenFIFO = append(m.rxSeenFIFO, uid)
+	return false
+}
+
+// scheduleAck fires a link-layer ACK after SIFS, bypassing the queue —
+// ACKs pre-empt contention in CSMA/CA.
+func (m *MAC) scheduleAck(orig *packet.Packet) {
+	ack := &packet.Packet{
+		Kind:    packet.KindMACAck,
+		To:      orig.From,
+		Origin:  orig.Origin,
+		Target:  orig.Target,
+		Seq:     orig.Seq,
+		Size:    packet.SizeAck,
+		Payload: orig.UID,
+	}
+	m.kernel.Schedule(m.cfg.SIFS, func() {
+		if !m.radio.On() || m.radio.State() == phy.StateTx {
+			return // can't ack right now; sender will retry
+		}
+		m.stats.TxAcks++
+		m.stats.TxFrames++
+		m.radio.Transmit(ack)
+	})
+}
+
+// OnMediumBusy implements phy.Listener.
+func (m *MAC) OnMediumBusy() {
+	switch m.state {
+	case stDIFS, stBackoff:
+		m.access.Stop()
+		m.state = stWait
+	}
+}
+
+// OnMediumIdle implements phy.Listener.
+func (m *MAC) OnMediumIdle() {
+	if m.state == stWait {
+		m.resumeContention()
+	}
+}

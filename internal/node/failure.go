@@ -1,0 +1,105 @@
+package node
+
+import (
+	"math/rand"
+
+	"routeless/internal/sim"
+)
+
+// FailureProcess implements the paper's node-failure model (§4.3): "a
+// node failure of 10% means that randomly selected 10% of the time the
+// transceiver of a node is turned off and not able to transmit or
+// receive any packets."
+//
+// The process alternates exponentially distributed up and down periods
+// whose means are chosen so the long-run off fraction equals
+// OffFraction: mean-up = (1−p)·Cycle, mean-down = p·Cycle.
+type FailureProcess struct {
+	// OffFraction p ∈ [0, 1) is the long-run fraction of time off.
+	OffFraction float64
+	// Cycle is the mean up+down period in seconds; default 10.
+	Cycle float64
+	// Sleep uses the low-power sleep state instead of a hard
+	// transceiver-off — the §4.2 voluntary duty-cycling extension.
+	// Packet-level behavior is identical; the energy meter differs.
+	Sleep bool
+
+	node  *Node
+	rng   *rand.Rand
+	timer *sim.Timer
+
+	// counters
+	failures  uint64
+	totalDown float64
+	downSince sim.Time
+}
+
+// NewFailureProcess builds a process for n driven by r. It does not
+// start until Start is called.
+func NewFailureProcess(n *Node, r *rand.Rand) *FailureProcess {
+	fp := &FailureProcess{Cycle: 10, node: n, rng: r}
+	fp.timer = sim.NewTimer(n.Kernel, fp.flip)
+	return fp
+}
+
+// Start arms the process. With OffFraction zero it does nothing.
+func (fp *FailureProcess) Start() {
+	if fp.OffFraction <= 0 {
+		return
+	}
+	if fp.OffFraction >= 1 {
+		panic("node: OffFraction must be below 1")
+	}
+	fp.timer.Reset(fp.upDuration())
+}
+
+// Stop halts the process, recovering the node if it is down.
+func (fp *FailureProcess) Stop() {
+	fp.timer.Stop()
+	if !fp.node.Up() {
+		fp.recover()
+	}
+}
+
+// Failures returns how many times the node went down.
+func (fp *FailureProcess) Failures() uint64 { return fp.failures }
+
+// DownTime returns accumulated seconds spent off, up to now.
+func (fp *FailureProcess) DownTime() float64 {
+	d := fp.totalDown
+	if !fp.node.Up() {
+		d += float64(fp.node.Kernel.Now() - fp.downSince)
+	}
+	return d
+}
+
+func (fp *FailureProcess) upDuration() sim.Time {
+	mean := (1 - fp.OffFraction) * fp.Cycle
+	return sim.Time(fp.rng.ExpFloat64() * mean)
+}
+
+func (fp *FailureProcess) downDuration() sim.Time {
+	mean := fp.OffFraction * fp.Cycle
+	return sim.Time(fp.rng.ExpFloat64() * mean)
+}
+
+func (fp *FailureProcess) flip() {
+	if fp.node.Up() {
+		fp.failures++
+		fp.downSince = fp.node.Kernel.Now()
+		if fp.Sleep {
+			fp.node.Sleep()
+		} else {
+			fp.node.Fail()
+		}
+		fp.timer.Reset(fp.downDuration())
+	} else {
+		fp.recover()
+		fp.timer.Reset(fp.upDuration())
+	}
+}
+
+func (fp *FailureProcess) recover() {
+	fp.totalDown += float64(fp.node.Kernel.Now() - fp.downSince)
+	fp.node.Recover()
+}

@@ -1,0 +1,162 @@
+package node
+
+import (
+	"fmt"
+
+	"routeless/internal/geo"
+	"routeless/internal/mac"
+	"routeless/internal/packet"
+	"routeless/internal/phy"
+	"routeless/internal/propagation"
+	"routeless/internal/rng"
+	"routeless/internal/sim"
+)
+
+// Config describes a network to build. Zero-value fields take the
+// defaults noted on each field.
+type Config struct {
+	// N is the node count (ignored when Positions is set).
+	N int
+	// Rect is the terrain; default 1000×1000 m.
+	Rect geo.Rect
+	// Positions places nodes explicitly; when nil, N nodes are placed
+	// uniformly at random.
+	Positions []geo.Point
+	// Range is the calibrated transmission range in meters; default 250
+	// (the paper's §4.3 value).
+	Range float64
+	// Model is the propagation model; default free space (§3).
+	Model propagation.Model
+	// Fader adds small-scale fading; default none.
+	Fader propagation.Fader
+	// FadeMarginDB widens the channel cutoff under fading; default 12.
+	FadeMarginDB float64
+	// MAC holds medium-access parameters; default mac.DefaultConfig.
+	MAC *mac.Config
+	// Seed drives every random stream in the network.
+	Seed int64
+	// EnsureConnected regenerates random placements (up to 100 draws)
+	// until the unit-disk graph is connected, matching the paper's
+	// implicit assumption that flooding reaches every node.
+	EnsureConnected bool
+}
+
+// Network is a fully assembled simulation: kernel, channel, and nodes.
+// Protocols and applications are attached after construction.
+type Network struct {
+	Kernel  *sim.Kernel
+	Channel *phy.Channel
+	Nodes   []*Node
+	Rect    geo.Rect
+	Seed    int64
+}
+
+// New builds the network. It panics on nonsensical configuration —
+// construction errors are programming errors in experiment setup.
+func New(cfg Config) *Network {
+	if cfg.Rect == (geo.Rect{}) {
+		cfg.Rect = geo.NewRect(1000, 1000)
+	}
+	if cfg.Range == 0 {
+		cfg.Range = 250
+	}
+	if cfg.Model == nil {
+		cfg.Model = propagation.NewFreeSpace()
+	}
+	if cfg.FadeMarginDB == 0 {
+		cfg.FadeMarginDB = 12
+	}
+	macCfg := mac.DefaultConfig()
+	if cfg.MAC != nil {
+		macCfg = *cfg.MAC
+	}
+
+	kernel := sim.NewKernel(rng.Derive(cfg.Seed, 0xC0FFEE))
+	params := phy.DefaultParams(cfg.Model, cfg.Range)
+
+	positions := cfg.Positions
+	if positions == nil {
+		if cfg.N <= 0 {
+			panic("node: Config.N must be positive without explicit positions")
+		}
+		placer := rng.New(cfg.Seed, rng.StreamTopology)
+		positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
+		if cfg.EnsureConnected {
+			for try := 0; try < 100; try++ {
+				probe := phy.NewChannel(kernel, cfg.Rect, positions, params, phy.ChannelConfig{Model: cfg.Model})
+				if probe.Connected() {
+					break
+				}
+				if try == 99 {
+					panic(fmt.Sprintf("node: no connected placement found for N=%d range=%.0f in %vx%v",
+						cfg.N, cfg.Range, cfg.Rect.Width(), cfg.Rect.Height()))
+				}
+				positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
+			}
+		}
+	}
+
+	ch := phy.NewChannel(kernel, cfg.Rect, positions, params, phy.ChannelConfig{
+		Model:        cfg.Model,
+		Fader:        cfg.Fader,
+		FadeMarginDB: cfg.FadeMarginDB,
+		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
+	})
+
+	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed}
+	nw.Nodes = make([]*Node, len(positions))
+	for i := range positions {
+		n := &Node{
+			ID:     packet.NodeID(i),
+			Pos:    positions[i],
+			Kernel: kernel,
+			Radio:  ch.Radio(i),
+			Rng:    rng.ForNode(cfg.Seed, rng.StreamNet, i),
+		}
+		n.MAC = mac.New(kernel, n.Radio, macCfg, rng.ForNode(cfg.Seed, rng.StreamMAC, i))
+		n.MAC.SetHandler(macAdapter{n})
+		nw.Nodes[i] = n
+	}
+	return nw
+}
+
+// Install attaches one protocol instance per node using the factory and
+// starts them. Call exactly once, before running the kernel.
+func (nw *Network) Install(factory func(n *Node) Protocol) {
+	for _, n := range nw.Nodes {
+		n.Net = factory(n)
+	}
+	// Separate loop: protocols may talk to neighbors during Start.
+	for _, n := range nw.Nodes {
+		n.Net.Start(n)
+	}
+}
+
+// Run executes the simulation until time t.
+func (nw *Network) Run(t sim.Time) { nw.Kernel.RunUntil(t) }
+
+// MoveNode relocates a node (mobility extension), keeping the channel's
+// spatial index and the node's own position in sync.
+func (nw *Network) MoveNode(id packet.NodeID, p geo.Point) {
+	nw.Channel.MoveTo(int(id), p)
+	nw.Nodes[id].Pos = p
+}
+
+// MACPackets sums every MAC-layer transmission in the network —
+// Figures 3 and 4's "Number of MAC Packets".
+func (nw *Network) MACPackets() uint64 {
+	var sum uint64
+	for _, n := range nw.Nodes {
+		sum += n.MAC.Stats().TxFrames
+	}
+	return sum
+}
+
+// TotalEnergy sums every radio's consumption in joules at time now.
+func (nw *Network) TotalEnergy() float64 {
+	var sum float64
+	for _, n := range nw.Nodes {
+		sum += n.Radio.Energy().Total(nw.Kernel.Now())
+	}
+	return sum
+}

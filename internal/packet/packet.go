@@ -1,0 +1,192 @@
+// Package packet defines the in-simulation packet model shared by the
+// MAC layer and every network protocol in the repository. Packets are
+// plain structs, never serialized: a simulated transmission hands the
+// receiver a copy, and airtime is derived from the declared size.
+package packet
+
+import (
+	"fmt"
+
+	"routeless/internal/sim"
+)
+
+// NodeID identifies a node. IDs are dense small integers assigned by
+// the network builder.
+type NodeID int32
+
+// Broadcast is the MAC destination meaning "all nodes in range".
+const Broadcast NodeID = -1
+
+// None marks an unset node field.
+const None NodeID = -2
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	switch id {
+	case Broadcast:
+		return "*"
+	case None:
+		return "-"
+	default:
+		return fmt.Sprintf("n%d", int32(id))
+	}
+}
+
+// Kind classifies packets for protocol dispatch and statistics.
+type Kind uint8
+
+// Packet kinds used across the protocol suite.
+const (
+	KindData      Kind = iota // application payload
+	KindFlood                 // flooded application payload (§3)
+	KindDiscovery             // Routeless path discovery (§4.1)
+	KindReply                 // Routeless path reply (§4.1)
+	KindAck                   // Routeless/election acknowledgement (§2, §4.1)
+	KindAnnounce              // election announcement (§2)
+	KindSync                  // election synchronization trigger (§2)
+	KindRREQ                  // AODV route request
+	KindRREP                  // AODV route reply
+	KindRERR                  // AODV route error
+	KindHello                 // AODV hello beacon
+	KindMACAck                // link-layer acknowledgement for unicast
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"DATA", "FLOOD", "DISC", "REPLY", "ACK", "ANN", "SYNC",
+	"RREQ", "RREP", "RERR", "HELLO", "MACK",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// NumKinds reports how many packet kinds exist, for stats arrays.
+func NumKinds() int { return int(numKinds) }
+
+// Packet carries MAC- and network-layer headers plus an opaque payload.
+// Every hop transmits a fresh copy (see Clone); mutating a received
+// packet never affects other receivers.
+type Packet struct {
+	// MAC layer addressing.
+	From NodeID // transmitter of this hop
+	To   NodeID // Broadcast, or the unicast next hop
+
+	Kind Kind
+
+	// End-to-end addressing.
+	Origin NodeID // node that created the packet
+	Target NodeID // final destination (None for pure broadcasts)
+
+	// Seq distinguishes packets from the same origin; (Origin, Kind
+	// class, Seq) identifies a logical packet network-wide.
+	Seq uint32
+
+	// HopCount is the paper's "actual hop count field": hops traveled
+	// from Origin to the node that transmitted this copy, inclusive of
+	// that transmission.
+	HopCount int
+
+	// ExpectedHops is the paper's "expected hop count field" carried by
+	// path reply and data packets: the transmitter's estimate of the
+	// remaining distance to Target.
+	ExpectedHops int
+
+	// TTL bounds forwarding; decremented per hop, dropped at zero.
+	TTL int
+
+	// Size is the on-air size in bytes (headers included); it drives
+	// transmission duration.
+	Size int
+
+	// CreatedAt is when Origin generated the logical packet; end-to-end
+	// delay is measured against it.
+	CreatedAt sim.Time
+
+	// UID identifies this physical copy for tracing; assigned by the
+	// MAC on transmit.
+	UID uint64
+
+	// Payload is protocol- or application-specific extra state.
+	Payload any
+}
+
+// Clone returns a copy of p suitable for retransmission or forwarding.
+// Payload is shared (payloads are treated as immutable).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// FlowKey identifies a logical end-to-end packet, used for duplicate
+// suppression and election state.
+type FlowKey struct {
+	Origin NodeID
+	Kind   Kind
+	Seq    uint32
+}
+
+// Key returns the logical identity of p.
+func (p *Packet) Key() FlowKey { return FlowKey{p.Origin, p.Kind, p.Seq} }
+
+// String implements fmt.Stringer for debugging and traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s->%s o=%s t=%s seq=%d h=%d eh=%d",
+		p.Kind, p.From, p.To, p.Origin, p.Target, p.Seq, p.HopCount, p.ExpectedHops)
+}
+
+// Default on-air sizes in bytes, shared by protocols so comparisons are
+// apples-to-apples. Values follow typical MANET simulation setups.
+const (
+	SizeData    = 512
+	SizeControl = 48
+	SizeAck     = 24
+	SizeHello   = 32
+)
+
+// DedupCache remembers recently seen FlowKeys with bounded memory: the
+// classic sequence-number list every counter-1 flooding node keeps
+// (§3: "every node must also keep a list of sequence numbers of
+// received packets"). Eviction is FIFO.
+type DedupCache struct {
+	seen  map[FlowKey]struct{}
+	order []FlowKey
+	cap   int
+}
+
+// NewDedupCache returns a cache holding at most capacity keys.
+func NewDedupCache(capacity int) *DedupCache {
+	if capacity <= 0 {
+		panic("packet: dedup capacity must be positive")
+	}
+	return &DedupCache{seen: make(map[FlowKey]struct{}), cap: capacity}
+}
+
+// Seen reports whether k was recorded and records it. The first call
+// for a key returns false, later calls true (until evicted).
+func (c *DedupCache) Seen(k FlowKey) bool {
+	if _, ok := c.seen[k]; ok {
+		return true
+	}
+	if len(c.order) >= c.cap {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.seen, old)
+	}
+	c.seen[k] = struct{}{}
+	c.order = append(c.order, k)
+	return false
+}
+
+// Contains reports whether k is recorded without recording it.
+func (c *DedupCache) Contains(k FlowKey) bool {
+	_, ok := c.seen[k]
+	return ok
+}
+
+// Len returns the number of recorded keys.
+func (c *DedupCache) Len() int { return len(c.seen) }

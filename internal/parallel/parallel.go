@@ -1,0 +1,58 @@
+// Package parallel runs independent simulations concurrently: each
+// simulation is sequential (determinism), but parameter points × seeds
+// are embarrassingly parallel. Results come back in input order, so a
+// parallel sweep prints identical tables to a serial one.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn for every index in [0, n) using at most workers
+// goroutines (0 means GOMAXPROCS) and returns the results in index
+// order. fn must be safe to call concurrently for different indices —
+// simulations satisfy this because each builds its own kernel.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// ForEach is Map without results.
+func ForEach(workers, n int, fn func(i int)) {
+	Map(workers, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

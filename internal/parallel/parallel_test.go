@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	out := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSingleWorkerSerial(t *testing.T) {
+	var order []int
+	Map(1, 10, func(i int) int {
+		order = append(order, i)
+		return i
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatal("single worker should run in order")
+		}
+	}
+}
+
+func TestMapZeroN(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	out := Map(0, 50, func(i int) int { return i })
+	if len(out) != 50 {
+		t.Fatal("default worker count failed")
+	}
+}
+
+func TestMapEachIndexOnce(t *testing.T) {
+	var counts [200]int32
+	Map(8, 200, func(i int) struct{} {
+		atomic.AddInt32(&counts[i], 1)
+		return struct{}{}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(4, 100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+// Property: parallel result equals serial result for any worker count.
+func TestQuickParallelEqualsSerial(t *testing.T) {
+	f := func(workers uint8, n uint8) bool {
+		w := int(workers%16) + 1
+		size := int(n)
+		fn := func(i int) int { return i*31 + 7 }
+		par := Map(w, size, fn)
+		ser := Map(1, size, fn)
+		if len(par) != len(ser) {
+			return false
+		}
+		for i := range par {
+			if par[i] != ser[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package phy
+
+import (
+	"testing"
+
+	"routeless/internal/geo"
+	"routeless/internal/packet"
+	"routeless/internal/propagation"
+	"routeless/internal/rng"
+	"routeless/internal/sim"
+)
+
+// nullListener absorbs PHY indications.
+type nullListener struct{}
+
+func (nullListener) OnReceive(*packet.Packet, float64) {}
+func (nullListener) OnMediumBusy()                     {}
+func (nullListener) OnMediumIdle()                     {}
+func (nullListener) OnTxDone()                         {}
+
+// BenchmarkBroadcastField measures one broadcast through the channel on
+// a paper-scale field: power computation, fan-out scheduling, and
+// delivery at ~24 neighbors.
+func BenchmarkBroadcastField(b *testing.B) {
+	k := sim.NewKernel(1)
+	model := propagation.NewFreeSpace()
+	params := DefaultParams(model, 250)
+	rect := geo.NewRect(2000, 2000)
+	pts := geo.UniformPoints(rng.New(1, rng.StreamTopology), rect, 500)
+	ch := NewChannel(k, rect, pts, params, ChannelConfig{Model: model})
+	for i := 0; i < 500; i++ {
+		ch.Radio(i).SetListener(nullListener{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Radio(i % 500).Transmit(&packet.Packet{
+			Kind: packet.KindData, To: packet.Broadcast, Size: 64,
+		})
+		k.Run()
+	}
+}
+
+// BenchmarkReceivedPower measures the propagation hot path.
+func BenchmarkReceivedPower(b *testing.B) {
+	m := propagation.NewFreeSpace()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.ReceivedPower(24.5, float64(1+i%500))
+	}
+	_ = sink
+}

@@ -1,0 +1,210 @@
+package phy
+
+import (
+	"math/rand"
+	"sort"
+
+	"routeless/internal/geo"
+	"routeless/internal/packet"
+	"routeless/internal/propagation"
+	"routeless/internal/sim"
+)
+
+// Channel is the shared broadcast medium. It knows every radio's
+// position, computes per-receiver power through a propagation model and
+// an optional fader, and schedules signal start/end events with the
+// true propagation delay.
+type Channel struct {
+	kernel *sim.Kernel
+	model  propagation.Model
+	fader  propagation.Fader
+	frng   *rand.Rand // fading draws
+	grid   *geo.Grid
+	radios []*Radio
+
+	// cutoff is the distance beyond which a transmission cannot affect
+	// a receiver even after fading; signals past it are not scheduled.
+	cutoff float64
+
+	uid   uint64
+	stats ChannelStats
+
+	scratch []int
+}
+
+// ChannelStats aggregates medium-wide counters.
+type ChannelStats struct {
+	Transmissions uint64 // frames put on the air
+	Deliveries    uint64 // (radio, frame) pairs scheduled
+}
+
+// ChannelConfig configures the medium.
+type ChannelConfig struct {
+	Model propagation.Model
+	Fader propagation.Fader
+	// FadeMarginDB widens the interference cutoff to admit fading
+	// upswings; ignored with a nil/NoFade fader.
+	FadeMarginDB float64
+	// Rng drives fading; may be nil when Fader is nil/NoFade.
+	Rng *rand.Rand
+}
+
+// NewChannel builds a medium over the given node positions inside rect.
+// Radios are created eagerly, one per position, all with params; use
+// Radio(i) to retrieve them.
+func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Params, cfg ChannelConfig) *Channel {
+	model := cfg.Model
+	if model == nil {
+		model = propagation.NewFreeSpace()
+	}
+	fader := cfg.Fader
+	if fader == nil {
+		fader = propagation.NoFade{}
+	}
+	cs := params.CSThreshDBm
+	if _, noFade := fader.(propagation.NoFade); !noFade {
+		cs -= cfg.FadeMarginDB
+	}
+	cutoff := propagation.RangeFor(model, params.TxPowerDBm, cs, 1,
+		rect.Width()+rect.Height()+1)
+	if cutoff <= 0 {
+		cutoff = rect.Width() + rect.Height()
+	}
+	cell := cutoff / 2
+	if cell <= 0 || cell > rect.Width() {
+		cell = rect.Width()/4 + 1
+	}
+	ch := &Channel{
+		kernel: k,
+		model:  model,
+		fader:  fader,
+		frng:   cfg.Rng,
+		grid:   geo.NewGrid(rect, cell, positions),
+		cutoff: cutoff,
+	}
+	ch.radios = make([]*Radio, len(positions))
+	for i := range positions {
+		ch.radios[i] = &Radio{
+			id:      packet.NodeID(i),
+			params:  params,
+			kernel:  k,
+			channel: ch,
+			state:   StateIdle,
+			energy:  NewEnergy(DefaultPower()),
+		}
+	}
+	return ch
+}
+
+// Radio returns the transceiver at position index i.
+func (c *Channel) Radio(i int) *Radio { return c.radios[i] }
+
+// NumRadios returns the number of attached transceivers.
+func (c *Channel) NumRadios() int { return len(c.radios) }
+
+// Position returns node i's location.
+func (c *Channel) Position(i int) geo.Point { return c.grid.At(i) }
+
+// MoveTo relocates node i — the mobility extension. Transmissions
+// already in flight are unaffected (their powers were computed at
+// transmit time); subsequent transmissions use the new position.
+func (c *Channel) MoveTo(i int, p geo.Point) { c.grid.MoveTo(i, p) }
+
+// Model returns the propagation model in use.
+func (c *Channel) Model() propagation.Model { return c.model }
+
+// Cutoff returns the interference cutoff distance in meters.
+func (c *Channel) Cutoff() float64 { return c.cutoff }
+
+// Stats returns medium-wide counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// MeanPowerAt returns the deterministic (unfaded) receive power in dBm
+// between two node indices — used by tests and by range queries.
+func (c *Channel) MeanPowerAt(from, to int) float64 {
+	d := c.grid.At(from).Dist(c.grid.At(to))
+	return c.model.ReceivedPower(c.radios[from].params.TxPowerDBm, d)
+}
+
+// transmit fans a frame out to every radio within the cutoff range.
+// Receivers are visited in id order so fading draws are reproducible.
+func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
+	c.stats.Transmissions++
+	if pkt.UID == 0 {
+		// Assign once per frame: ARQ retransmissions keep their UID so
+		// receivers can suppress duplicates of the same frame.
+		c.uid++
+		pkt.UID = c.uid
+	}
+	srcIdx := int(src.id)
+	pos := c.grid.At(srcIdx)
+	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, srcIdx)
+	sort.Ints(c.scratch)
+	now := c.kernel.Now()
+	for _, idx := range c.scratch {
+		rcv := c.radios[idx]
+		d := pos.Dist(c.grid.At(idx))
+		p := c.model.ReceivedPower(src.params.TxPowerDBm, d)
+		p = c.fader.Fade(c.frng, p)
+		if p < rcv.params.CSThreshDBm {
+			continue // too weak to sense or corrupt: not scheduled
+		}
+		s := &signal{
+			pkt:      pkt.Clone(),
+			powerDBm: p,
+			powerMW:  propagation.DBmToMilliwatt(p),
+		}
+		delay := sim.Time(propagation.Delay(d))
+		s.end = now + delay + dur
+		c.stats.Deliveries++
+		c.kernel.At(now+delay, func() { rcv.signalStart(s) })
+		c.kernel.At(s.end, func() { rcv.signalEnd(s) })
+	}
+}
+
+// NeighborCount returns how many nodes sit within the decode range of
+// node i (deterministic power model, no fading) — a topology metric
+// used by experiments and tests.
+func (c *Channel) NeighborCount(i int) int {
+	r := c.radios[i]
+	rangeM := propagation.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+	ids := c.grid.WithinRadius(nil, c.grid.At(i), rangeM, i)
+	return len(ids)
+}
+
+// DecodeRange returns the deterministic decode range of node i's
+// transmitter against its own receive threshold.
+func (c *Channel) DecodeRange(i int) float64 {
+	r := c.radios[i]
+	return propagation.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+}
+
+// Connected reports whether the deterministic unit-disk graph induced
+// by the decode range is connected — experiments regenerate topologies
+// until it is, matching the paper's implicit assumption that flooding
+// reaches everyone.
+func (c *Channel) Connected() bool {
+	n := len(c.radios)
+	if n == 0 {
+		return true
+	}
+	rangeM := c.DecodeRange(0)
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	var buf []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = c.grid.WithinRadius(buf[:0], c.grid.At(v), rangeM, v)
+		for _, u := range buf {
+			if !visited[u] {
+				visited[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,353 @@
+// Package phy implements the physical layer of the simulated wireless
+// network: half-duplex radios with carrier sensing and an SINR-based
+// collision/capture model, the shared broadcast channel that couples
+// them through a propagation model, and per-radio energy accounting.
+//
+// The model follows the usual ns-2/SENSE conventions: a frame locks the
+// receiver when it arrives above the receive threshold while the radio
+// is idle; overlapping energy corrupts it unless the frame stays above
+// the capture ratio; anything above the carrier-sense threshold marks
+// the medium busy.
+package phy
+
+import (
+	"fmt"
+
+	"routeless/internal/packet"
+	"routeless/internal/propagation"
+	"routeless/internal/sim"
+)
+
+// State is the transceiver state.
+type State uint8
+
+// Radio states. Off models the paper's §4.3 node failures ("the
+// transceiver of a node is turned off and not able to transmit or
+// receive any packets"); Sleep is the low-power state Routeless Routing
+// permits route nodes to enter (§4.2).
+const (
+	StateIdle State = iota
+	StateRx
+	StateTx
+	StateSleep
+	StateOff
+)
+
+var stateNames = [...]string{"idle", "rx", "tx", "sleep", "off"}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Params configures a radio. The zero value is not usable; start from
+// DefaultParams.
+type Params struct {
+	TxPowerDBm    float64 // transmit power
+	RxThreshDBm   float64 // minimum power to decode a frame
+	CSThreshDBm   float64 // minimum power to sense the medium busy
+	NoiseFloorDBm float64 // thermal noise for SINR
+	CaptureDB     float64 // SINR (dB) a frame needs to survive overlap
+	BitRate       float64 // bps; drives frame airtime
+}
+
+// DefaultParams returns radio parameters calibrated so that the given
+// propagation model yields the requested transmission range, with a
+// carrier-sense range about twice that — the classic 250 m / 550 m
+// WaveLAN ratio the paper's testbed conventions imply.
+func DefaultParams(m propagation.Model, rangeMeters float64) Params {
+	const tx = 24.5 // dBm ≈ 280 mW, the ns-2 WaveLAN default
+	rxThresh := propagation.ThresholdFor(m, tx, rangeMeters)
+	csThresh := propagation.ThresholdFor(m, tx, rangeMeters*2.2)
+	return Params{
+		TxPowerDBm:    tx,
+		RxThreshDBm:   rxThresh,
+		CSThreshDBm:   csThresh,
+		NoiseFloorDBm: -101,
+		CaptureDB:     10,
+		BitRate:       1e6,
+	}
+}
+
+// AirTime returns the on-air duration of a frame of size bytes.
+func (p Params) AirTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / p.BitRate)
+}
+
+// Listener receives PHY indications; the MAC layer implements it.
+type Listener interface {
+	// OnReceive delivers a successfully decoded frame with its receive
+	// power — the signal strength SSAF derives its backoff from (§3).
+	OnReceive(pkt *packet.Packet, rssiDBm float64)
+	// OnMediumBusy and OnMediumIdle report carrier-sense transitions.
+	OnMediumBusy()
+	OnMediumIdle()
+	// OnTxDone reports that the frame handed to Transmit left the air.
+	OnTxDone()
+}
+
+// Stats counts PHY-level events for one radio.
+type Stats struct {
+	TxFrames     uint64 // frames transmitted
+	RxFrames     uint64 // frames delivered to the listener
+	Collisions   uint64 // frames corrupted by overlapping energy
+	MissedWeak   uint64 // decodable frames lost to in-progress activity
+	DroppedOff   uint64 // frames that arrived while sleeping or off
+	AbortedByTx  uint64 // receptions aborted by our own transmission
+	AbortedByOff uint64 // receptions aborted by turning the radio off
+}
+
+// signal is one frame in flight at a particular receiver.
+type signal struct {
+	pkt      *packet.Packet
+	powerDBm float64
+	powerMW  float64
+	end      sim.Time
+	tracked  bool
+}
+
+// Radio is a half-duplex transceiver attached to a Channel.
+type Radio struct {
+	id       packet.NodeID
+	params   Params
+	kernel   *sim.Kernel
+	channel  *Channel
+	listener Listener
+
+	state     State
+	inAir     []*signal
+	rx        *signal
+	rxCorrupt bool
+	busy      bool // last carrier-sense state reported
+
+	energy *Energy
+	stats  Stats
+}
+
+// ID returns the radio's node id.
+func (r *Radio) ID() packet.NodeID { return r.id }
+
+// State returns the current transceiver state.
+func (r *Radio) State() State { return r.state }
+
+// Params returns the radio's configuration.
+func (r *Radio) Params() Params { return r.params }
+
+// Stats returns a snapshot of the radio's counters.
+func (r *Radio) Stats() Stats { return r.stats }
+
+// Energy returns the radio's energy meter.
+func (r *Radio) Energy() *Energy { return r.energy }
+
+// SetListener installs the MAC; it must be called before any traffic.
+func (r *Radio) SetListener(l Listener) { r.listener = l }
+
+// SetTxPower changes this radio's transmit power. Asymmetric powers
+// create the unidirectional links whose effect on Routeless Routing §4
+// discusses ("may negatively affect the efficiency, but not the
+// correctness").
+func (r *Radio) SetTxPower(dbm float64) { r.params.TxPowerDBm = dbm }
+
+// On reports whether the radio can currently send or receive.
+func (r *Radio) On() bool { return r.state != StateOff && r.state != StateSleep }
+
+// CarrierBusy reports whether the medium is sensed busy: the radio is
+// transmitting, locked on a frame, or total in-air power exceeds the
+// carrier-sense threshold.
+func (r *Radio) CarrierBusy() bool {
+	if r.state == StateTx || r.state == StateRx {
+		return true
+	}
+	return propagation.MilliwattToDBm(r.inAirMW()) >= r.params.CSThreshDBm
+}
+
+func (r *Radio) inAirMW() float64 {
+	var sum float64
+	for _, s := range r.inAir {
+		sum += s.powerMW
+	}
+	return sum
+}
+
+// interferenceMW returns noise plus in-air power, excluding the frame
+// under consideration.
+func (r *Radio) interferenceMW(frame *signal) float64 {
+	sum := propagation.DBmToMilliwatt(r.params.NoiseFloorDBm)
+	for _, s := range r.inAir {
+		if s != frame {
+			sum += s.powerMW
+		}
+	}
+	return sum
+}
+
+func (r *Radio) sinrOK(frame *signal) bool {
+	interf := r.interferenceMW(frame)
+	if interf <= 0 {
+		return true
+	}
+	sinrDB := frame.powerDBm - propagation.MilliwattToDBm(interf)
+	return sinrDB >= r.params.CaptureDB
+}
+
+// Transmit puts a frame on the air. The caller (MAC) is responsible for
+// carrier sensing; transmitting while receiving aborts the reception
+// (half-duplex). Transmit panics if the radio is off, asleep, or
+// already transmitting — those are MAC bugs, not channel conditions.
+func (r *Radio) Transmit(pkt *packet.Packet) {
+	switch r.state {
+	case StateOff, StateSleep:
+		panic(fmt.Sprintf("phy: %v Transmit while %v", r.id, r.state))
+	case StateTx:
+		panic(fmt.Sprintf("phy: %v Transmit while already transmitting", r.id))
+	case StateRx:
+		r.stats.AbortedByTx++
+		r.rx = nil
+		r.rxCorrupt = false
+	}
+	r.setState(StateTx)
+	r.updateCarrier() // our own transmission makes the medium busy
+	r.stats.TxFrames++
+	pkt.From = r.id
+	dur := r.params.AirTime(pkt.Size)
+	r.channel.transmit(r, pkt, dur)
+	r.kernel.Schedule(dur, r.txDone)
+}
+
+func (r *Radio) txDone() {
+	if r.state != StateTx { // turned off mid-transmission
+		return
+	}
+	r.setState(StateIdle)
+	if r.listener != nil {
+		r.listener.OnTxDone()
+	}
+	r.updateCarrier()
+}
+
+// signalStart is called by the channel when a frame's leading edge
+// reaches this radio.
+func (r *Radio) signalStart(s *signal) {
+	if !r.On() {
+		r.stats.DroppedOff++
+		return
+	}
+	s.tracked = true
+	r.inAir = append(r.inAir, s)
+	switch r.state {
+	case StateIdle:
+		if s.powerDBm >= r.params.RxThreshDBm {
+			if r.sinrOK(s) {
+				r.rx = s
+				r.rxCorrupt = false
+				r.setState(StateRx)
+			} else {
+				r.stats.MissedWeak++
+			}
+		}
+	case StateRx:
+		if !r.sinrOK(r.rx) {
+			if !r.rxCorrupt {
+				r.rxCorrupt = true
+				r.stats.Collisions++
+			}
+		}
+	case StateTx:
+		// Half-duplex: we hear nothing of it.
+	}
+	r.updateCarrier()
+}
+
+// signalEnd is called by the channel when a frame's trailing edge
+// passes this radio.
+func (r *Radio) signalEnd(s *signal) {
+	if !s.tracked {
+		return // arrived while off/asleep, never entered our air state
+	}
+	for i, in := range r.inAir {
+		if in == s {
+			r.inAir[i] = r.inAir[len(r.inAir)-1]
+			r.inAir = r.inAir[:len(r.inAir)-1]
+			break
+		}
+	}
+	if r.rx == s {
+		ok := !r.rxCorrupt && r.state == StateRx
+		r.rx = nil
+		r.rxCorrupt = false
+		if r.state == StateRx {
+			r.setState(StateIdle)
+		}
+		if ok {
+			r.stats.RxFrames++
+			if r.listener != nil {
+				r.listener.OnReceive(s.pkt, s.powerDBm)
+			}
+		}
+	}
+	r.updateCarrier()
+}
+
+func (r *Radio) updateCarrier() {
+	busy := r.CarrierBusy()
+	if busy == r.busy || r.listener == nil {
+		r.busy = busy
+		return
+	}
+	r.busy = busy
+	if busy {
+		r.listener.OnMediumBusy()
+	} else {
+		r.listener.OnMediumIdle()
+	}
+}
+
+// TurnOff models a transceiver failure or a deliberate power-down. Any
+// reception in progress is lost, in-flight signals are forgotten, and a
+// transmission in progress is truncated (receivers of it will still
+// decode it — the channel does not model mid-air truncation; the
+// failure process operates at packet granularity, matching the paper's
+// duty-cycle failure definition).
+func (r *Radio) TurnOff() { r.powerDown(StateOff) }
+
+// Sleep enters the low-power listening-off state; semantics match
+// TurnOff but energy accounting differs.
+func (r *Radio) Sleep() { r.powerDown(StateSleep) }
+
+func (r *Radio) powerDown(s State) {
+	if r.state == StateOff || r.state == StateSleep {
+		r.setState(s)
+		return
+	}
+	if r.rx != nil {
+		r.stats.AbortedByOff++
+		r.rx = nil
+		r.rxCorrupt = false
+	}
+	for _, in := range r.inAir {
+		in.tracked = false
+	}
+	r.inAir = r.inAir[:0]
+	r.setState(s)
+	r.busy = false
+}
+
+// TurnOn restores the radio to idle. Frames whose leading edge passed
+// while the radio was off are not heard.
+func (r *Radio) TurnOn() {
+	if r.On() {
+		return
+	}
+	r.setState(StateIdle)
+	r.updateCarrier()
+}
+
+func (r *Radio) setState(s State) {
+	if r.energy != nil {
+		r.energy.Transition(r.kernel.Now(), r.state, s)
+	}
+	r.state = s
+}

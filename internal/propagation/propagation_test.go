@@ -1,0 +1,224 @@
+package propagation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBmConversionRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-90, -30, 0, 10, 24.5} {
+		mw := DBmToMilliwatt(dbm)
+		back := MilliwattToDBm(mw)
+		if math.Abs(back-dbm) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", dbm, mw, back)
+		}
+	}
+	if !math.IsInf(MilliwattToDBm(0), -1) {
+		t.Fatal("0 mW should be -Inf dBm")
+	}
+}
+
+func TestFreeSpaceMonotone(t *testing.T) {
+	m := NewFreeSpace()
+	prev := m.ReceivedPower(20, 1)
+	for d := 2.0; d <= 2000; d += 7 {
+		p := m.ReceivedPower(20, d)
+		if p >= prev {
+			t.Fatalf("power not strictly decreasing at d=%v: %v >= %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestFreeSpaceInverseSquare(t *testing.T) {
+	m := NewFreeSpace()
+	// Doubling distance should cost exactly 20·log10(2) ≈ 6.02 dB.
+	p1 := m.ReceivedPower(20, 100)
+	p2 := m.ReceivedPower(20, 200)
+	if math.Abs((p1-p2)-20*math.Log10(2)) > 1e-9 {
+		t.Fatalf("free space slope wrong: Δ=%v dB", p1-p2)
+	}
+}
+
+func TestFreeSpaceNearFieldClamp(t *testing.T) {
+	m := NewFreeSpace()
+	if m.ReceivedPower(20, 0) != m.ReceivedPower(20, m.RefDistance) {
+		t.Fatal("near field not clamped to reference distance")
+	}
+}
+
+func TestFreeSpaceTxPowerLinearity(t *testing.T) {
+	m := NewFreeSpace()
+	// +3 dB at the transmitter is +3 dB at every receiver.
+	d := 137.0
+	if diff := m.ReceivedPower(23, d) - m.ReceivedPower(20, d); math.Abs(diff-3) > 1e-9 {
+		t.Fatalf("tx power linearity broken: %v", diff)
+	}
+}
+
+func TestTwoRayMatchesFreeSpaceBelowCrossover(t *testing.T) {
+	m := NewTwoRay()
+	cross := m.Crossover()
+	if cross < 10 || cross > 1000 {
+		t.Fatalf("implausible crossover %v m", cross)
+	}
+	d := cross / 2
+	if got, want := m.ReceivedPower(20, d), m.FreeSpace.ReceivedPower(20, d); got != want {
+		t.Fatalf("below crossover: got %v, want %v", got, want)
+	}
+}
+
+func TestTwoRayFourthPowerBeyondCrossover(t *testing.T) {
+	m := NewTwoRay()
+	d := m.Crossover() * 3
+	p1 := m.ReceivedPower(20, d)
+	p2 := m.ReceivedPower(20, 2*d)
+	if math.Abs((p1-p2)-40*math.Log10(2)) > 1e-9 {
+		t.Fatalf("two-ray slope wrong: Δ=%v dB, want %v", p1-p2, 40*math.Log10(2))
+	}
+}
+
+func TestTwoRayFallsFasterThanFreeSpace(t *testing.T) {
+	fs, tr := NewFreeSpace(), NewTwoRay()
+	d := tr.Crossover() * 4
+	if tr.ReceivedPower(20, d) >= fs.ReceivedPower(20, d) {
+		t.Fatal("two-ray should be weaker than free space far out")
+	}
+}
+
+func TestLogDistance(t *testing.T) {
+	base := NewFreeSpace()
+	m := NewLogDistance(base, 1, 4)
+	// At the reference distance they agree.
+	if m.ReceivedPower(20, 1) != base.ReceivedPower(20, 1) {
+		t.Fatal("mismatch at reference distance")
+	}
+	// Slope is 40 dB/decade.
+	p1 := m.ReceivedPower(20, 10)
+	p2 := m.ReceivedPower(20, 100)
+	if math.Abs((p1-p2)-40) > 1e-9 {
+		t.Fatalf("log-distance slope: Δ=%v, want 40", p1-p2)
+	}
+}
+
+func TestRangeForCalibration(t *testing.T) {
+	m := NewFreeSpace()
+	tx := 24.5
+	thr := ThresholdFor(m, tx, 250)
+	r := RangeFor(m, tx, thr, 1, 10000)
+	if math.Abs(r-250) > 0.01 {
+		t.Fatalf("calibrated range %v, want 250", r)
+	}
+}
+
+func TestRangeForEdgeCases(t *testing.T) {
+	m := NewFreeSpace()
+	if r := RangeFor(m, 20, 1000 /* absurd threshold */, 1, 1000); r != 0 {
+		t.Fatalf("unreachable threshold should give 0, got %v", r)
+	}
+	if r := RangeFor(m, 20, -1000 /* trivially met */, 1, 1000); r != 1000 {
+		t.Fatalf("trivially met threshold should return hi, got %v", r)
+	}
+}
+
+// Property: ThresholdFor and RangeFor are inverses for any model.
+func TestQuickCalibrationInverse(t *testing.T) {
+	models := []Model{NewFreeSpace(), NewTwoRay(), NewLogDistance(NewFreeSpace(), 1, 3)}
+	f := func(mi uint8, rangeM float64) bool {
+		m := models[int(mi)%len(models)]
+		want := 10 + math.Mod(math.Abs(rangeM), 1000)
+		thr := ThresholdFor(m, 24.5, want)
+		got := RangeFor(m, 24.5, thr, 1, 5000)
+		return math.Abs(got-want) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoFade(t *testing.T) {
+	if (NoFade{}).Fade(nil, -70) != -70 {
+		t.Fatal("NoFade must be identity")
+	}
+}
+
+func TestLogNormalShadowStatistics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := LogNormalShadow{SigmaDB: 6}
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Fade(r, -70) - (-70)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.2 {
+		t.Fatalf("shadow mean %v, want ~0", mean)
+	}
+	if math.Abs(std-6) > 0.2 {
+		t.Fatalf("shadow std %v, want ~6", std)
+	}
+}
+
+func TestRayleighUnitMeanPower(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := Rayleigh{}
+	const n = 50000
+	var sumLinear float64
+	mean := -70.0
+	for i := 0; i < n; i++ {
+		sumLinear += DBmToMilliwatt(f.Fade(r, mean))
+	}
+	avg := sumLinear / n
+	want := DBmToMilliwatt(mean)
+	if math.Abs(avg-want)/want > 0.05 {
+		t.Fatalf("rayleigh mean power %v, want %v (unit-mean fading)", avg, want)
+	}
+}
+
+func TestRayleighLargeScaleTrendHolds(t *testing.T) {
+	// The paper's §3 argument: even with dramatic small-scale variation,
+	// weaker-with-distance holds at large scale. Average many fades at
+	// two distances and check the ordering.
+	r := rand.New(rand.NewSource(3))
+	m := NewFreeSpace()
+	f := Rayleigh{}
+	avg := func(d float64) float64 {
+		var s float64
+		for i := 0; i < 5000; i++ {
+			s += f.Fade(r, m.ReceivedPower(20, d))
+		}
+		return s / 5000
+	}
+	if avg(100) <= avg(200) {
+		t.Fatal("large-scale distance trend violated under Rayleigh fading")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	d := Delay(SpeedOfLight)
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Delay(c) = %v, want 1s", d)
+	}
+	// 250 m ≈ 0.83 µs — negligible vs. millisecond backoffs, as §2 assumes.
+	if Delay(250) > 1e-5 {
+		t.Fatal("250 m delay should be well under 10µs")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, m := range []Model{NewFreeSpace(), NewTwoRay(), NewLogDistance(NewFreeSpace(), 1, 3)} {
+		if m.Name() == "" {
+			t.Fatal("empty model name")
+		}
+	}
+	for _, f := range []Fader{NoFade{}, LogNormalShadow{6}, Rayleigh{}} {
+		if f.Name() == "" {
+			t.Fatal("empty fader name")
+		}
+	}
+}

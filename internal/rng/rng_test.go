@@ -1,0 +1,98 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, 1, 2, 3)
+	b := Derive(42, 1, 2, 3)
+	if a != b {
+		t.Fatal("Derive is not deterministic")
+	}
+}
+
+func TestDeriveDependsOnSeed(t *testing.T) {
+	if Derive(1, 5) == Derive(2, 5) {
+		t.Fatal("different seeds gave same derived seed")
+	}
+}
+
+func TestDeriveDependsOnLabels(t *testing.T) {
+	if Derive(1, 5) == Derive(1, 6) {
+		t.Fatal("different labels gave same derived seed")
+	}
+	if Derive(1, 5, 6) == Derive(1, 6, 5) {
+		t.Fatal("label order should matter")
+	}
+	if Derive(1, 5) == Derive(1, 5, 0) {
+		t.Fatal("label count should matter")
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	r := New(0, StreamTopology)
+	saw := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		saw[r.Float64()] = true
+	}
+	if len(saw) < 10 {
+		t.Fatal("seed 0 stream produced repeats suspiciously fast")
+	}
+}
+
+func TestForNodeIndependence(t *testing.T) {
+	// Streams for different nodes must differ; the same node's stream
+	// must be stable.
+	r1a := ForNode(7, StreamMAC, 1)
+	r1b := ForNode(7, StreamMAC, 1)
+	r2 := ForNode(7, StreamMAC, 2)
+	v1a, v1b, v2 := r1a.Uint64(), r1b.Uint64(), r2.Uint64()
+	if v1a != v1b {
+		t.Fatal("same node stream not stable")
+	}
+	if v1a == v2 {
+		t.Fatal("different node streams collided on first draw")
+	}
+}
+
+func TestLayerSeparation(t *testing.T) {
+	a := ForNode(7, StreamMAC, 1).Uint64()
+	b := ForNode(7, StreamNet, 1).Uint64()
+	if a == b {
+		t.Fatal("different layers produced identical first draw")
+	}
+}
+
+// Property: derived seeds behave like a hash — no systematic collisions
+// across label values.
+func TestQuickNoTrivialCollisions(t *testing.T) {
+	seen := map[int64][2]uint64{}
+	f := func(x, y uint64) bool {
+		d := Derive(123, x, y)
+		if prev, ok := seen[d]; ok {
+			return prev == [2]uint64{x, y}
+		}
+		seen[d] = [2]uint64{x, y}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// Crude sanity check that New streams are roughly uniform: mean of
+	// many Float64 draws should be near 0.5.
+	r := New(99, StreamChannel)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %v, want ~0.5", mean)
+	}
+}

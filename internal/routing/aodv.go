@@ -1,0 +1,560 @@
+package routing
+
+import (
+	"sort"
+
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+)
+
+// AODVConfig parameterizes the baseline. Zero fields take the noted
+// defaults.
+type AODVConfig struct {
+	// HelloInterval is the beacon period; default 1 s.
+	HelloInterval sim.Time
+	// HelloLoss is how many missed intervals declare a neighbor dead;
+	// default 2.
+	HelloLoss int
+	// RREQBackoff is the flood rebroadcast backoff; default 10 ms.
+	RREQBackoff sim.Time
+	// DiscoveryTimeout is the RREP wait before re-flooding; default 2 s.
+	DiscoveryTimeout sim.Time
+	// MaxDiscoveryRetries bounds re-floods; default 3.
+	MaxDiscoveryRetries int
+	// RouteLifetime expires unused routes; default 30 s.
+	RouteLifetime sim.Time
+	// TTL bounds flood travel; default 32.
+	TTL int
+	// DataSize is the payload bytes of data packets; default 512.
+	DataSize int
+	// NoHello disables beaconing: link failures are then detected only
+	// through link-layer ARQ feedback. The paper's packet counts
+	// (Figures 3–4) scale with traffic rather than time, implying its
+	// AODV ran without periodic hellos; experiments use this mode.
+	NoHello bool
+	// ExpandingRing enables AODV's expanding-ring search: route
+	// requests start with a small TTL and widen on each retry
+	// (1, 3, 7, then full TTL), trading discovery latency for far
+	// fewer flood transmissions when destinations are close. Off by
+	// default to match the paper's "original flooding" description.
+	ExpandingRing bool
+}
+
+func (c AODVConfig) withDefaults() AODVConfig {
+	if c.HelloInterval == 0 {
+		c.HelloInterval = 1
+	}
+	if c.HelloLoss == 0 {
+		c.HelloLoss = 2
+	}
+	if c.RREQBackoff == 0 {
+		c.RREQBackoff = 10e-3
+	}
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = 2
+	}
+	if c.MaxDiscoveryRetries == 0 {
+		c.MaxDiscoveryRetries = 3
+	}
+	if c.RouteLifetime == 0 {
+		c.RouteLifetime = 30
+	}
+	if c.TTL == 0 {
+		c.TTL = 32
+	}
+	if c.DataSize == 0 {
+		c.DataSize = packet.SizeData
+	}
+	return c
+}
+
+// AODVStats counts protocol events at one node.
+type AODVStats struct {
+	DataSent        uint64
+	DataForwarded   uint64
+	DataDelivered   uint64
+	DataDropped     uint64 // no route at an intermediate hop
+	RREQSent        uint64
+	RREQForwarded   uint64
+	RREPSent        uint64
+	RREPForwarded   uint64
+	RERRSent        uint64
+	Hellos          uint64
+	LinkBreaks      uint64 // ARQ failures + hello losses
+	RoutesInvalided uint64
+	Rediscoveries   uint64
+	DroppedNoRoute  uint64 // source-side, discovery gave up
+}
+
+// route is one forward-table row.
+type route struct {
+	nextHop packet.NodeID
+	hops    int
+	seq     uint32 // destination sequence number (freshness)
+	expiry  sim.Time
+}
+
+// rreqInfo is the payload of route requests: the originator's sequence
+// number snapshot (for reverse-route freshness).
+type rreqInfo struct {
+	originSeq uint32
+}
+
+// rrepInfo is the payload of route replies.
+type rrepInfo struct {
+	destSeq uint32
+}
+
+// rerrInfo lists destinations that became unreachable.
+type rerrInfo struct {
+	unreachable []packet.NodeID
+}
+
+// AODV is the reactive-routing baseline of §4.3: explicit routes
+// discovered by flooding RREQs, maintained with hello beacons and
+// link-layer feedback, and repaired through RERR + re-discovery. Its
+// per-packet forwarding is unicast with MAC acknowledgements.
+type AODV struct {
+	cfg AODVConfig
+	n   *node.Node
+
+	// salvage holds in-flight data packets parked behind a route
+	// re-discovery, keyed by their final target.
+	salvage map[packet.NodeID][]*packet.Packet
+
+	seqNo  uint32 // own destination sequence number
+	rreqID uint32
+
+	routes    map[packet.NodeID]*route
+	rreqSeen  *packet.DedupCache
+	consumed  *packet.DedupCache         // end-to-end dedup of salvaged copies
+	neighbors map[packet.NodeID]sim.Time // last heard
+
+	discovering map[packet.NodeID]*discovery
+
+	hello   *sim.Ticker
+	monitor *sim.Ticker
+
+	stats AODVStats
+}
+
+// NewAODV builds an instance; install with Network.Install.
+func NewAODV(cfg AODVConfig) *AODV {
+	cfg = cfg.withDefaults()
+	return &AODV{
+		cfg:         cfg,
+		salvage:     make(map[packet.NodeID][]*packet.Packet),
+		routes:      make(map[packet.NodeID]*route),
+		rreqSeen:    packet.NewDedupCache(8192),
+		consumed:    packet.NewDedupCache(8192),
+		neighbors:   make(map[packet.NodeID]sim.Time),
+		discovering: make(map[packet.NodeID]*discovery),
+	}
+}
+
+// Start implements node.Protocol.
+func (a *AODV) Start(n *node.Node) {
+	a.n = n
+	if a.cfg.NoHello {
+		return
+	}
+	a.hello = sim.NewTicker(n.Kernel, a.cfg.HelloInterval, a.sendHello)
+	// De-phase beacons across nodes.
+	a.hello.StartAfter(sim.Time(n.Rng.Float64()) * a.cfg.HelloInterval)
+	a.monitor = sim.NewTicker(n.Kernel, a.cfg.HelloInterval, a.checkNeighbors)
+	a.monitor.StartAfter(sim.Time(1+n.Rng.Float64()) * a.cfg.HelloInterval)
+}
+
+// Stats returns the node's counters.
+func (a *AODV) Stats() AODVStats { return a.stats }
+
+// RouteTo reports the current route to target (hops, ok) — test and
+// instrumentation access.
+func (a *AODV) RouteTo(target packet.NodeID) (int, bool) {
+	r := a.validRoute(target)
+	if r == nil {
+		return 0, false
+	}
+	return r.hops, true
+}
+
+func (a *AODV) validRoute(target packet.NodeID) *route {
+	r, ok := a.routes[target]
+	if !ok || a.n.Kernel.Now() > r.expiry {
+		return nil
+	}
+	return r
+}
+
+func (a *AODV) nextSeq() uint32 {
+	a.seqNo++
+	return a.seqNo
+}
+
+// Send implements node.Protocol.
+func (a *AODV) Send(target packet.NodeID, size int) {
+	if size == 0 {
+		size = a.cfg.DataSize
+	}
+	now := a.n.Kernel.Now()
+	a.stats.DataSent++
+	if target == a.n.ID {
+		a.stats.DataDelivered++
+		a.n.Deliver(&packet.Packet{Kind: packet.KindData, Origin: a.n.ID, Target: target, Size: size, CreatedAt: now})
+		return
+	}
+	a.routeOrDiscover(target, size, now)
+}
+
+// routeOrDiscover transmits data along a known route or parks it behind
+// a (possibly new) route discovery. created is preserved so end-to-end
+// delay includes discovery and recovery latency.
+func (a *AODV) routeOrDiscover(target packet.NodeID, size int, created sim.Time) {
+	if r := a.validRoute(target); r != nil {
+		a.sendDataVia(r, target, size, created)
+		return
+	}
+	d, ok := a.discovering[target]
+	if !ok {
+		d = &discovery{}
+		d.timer = sim.NewTimer(a.n.Kernel, func() { a.discoveryTimeout(target) })
+		a.discovering[target] = d
+		a.floodRREQRing(target, a.ringTTL(0))
+		d.timer.Reset(a.cfg.DiscoveryTimeout)
+	}
+	d.queue = append(d.queue, pendingData{size: size, created: created})
+}
+
+func (a *AODV) sendDataVia(r *route, target packet.NodeID, size int, created sim.Time) {
+	r.expiry = a.n.Kernel.Now() + a.cfg.RouteLifetime
+	a.n.MAC.Enqueue(&packet.Packet{
+		Kind: packet.KindData, To: r.nextHop,
+		Origin: a.n.ID, Target: target, Seq: a.nextSeq(),
+		HopCount: 1, TTL: a.cfg.TTL, Size: size, CreatedAt: created,
+	}, 0)
+}
+
+func (a *AODV) floodRREQ(target packet.NodeID) {
+	a.floodRREQRing(target, a.cfg.TTL)
+}
+
+// ringTTL returns the RREQ TTL for the attempt-th discovery try under
+// expanding-ring search: 1, 3, 7, then the full TTL.
+func (a *AODV) ringTTL(attempt int) int {
+	if !a.cfg.ExpandingRing {
+		return a.cfg.TTL
+	}
+	rings := []int{1, 3, 7}
+	if attempt < len(rings) && rings[attempt] < a.cfg.TTL {
+		return rings[attempt]
+	}
+	return a.cfg.TTL
+}
+
+func (a *AODV) floodRREQRing(target packet.NodeID, ttl int) {
+	a.rreqID++
+	a.stats.RREQSent++
+	pkt := &packet.Packet{
+		Kind: packet.KindRREQ, To: packet.Broadcast,
+		Origin: a.n.ID, Target: target, Seq: a.rreqID,
+		HopCount: 1, TTL: ttl, Size: packet.SizeControl,
+		CreatedAt: a.n.Kernel.Now(),
+		Payload:   rreqInfo{originSeq: a.nextSeq()},
+	}
+	a.rreqSeen.Seen(pkt.Key())
+	a.n.MAC.Enqueue(pkt, 0)
+}
+
+func (a *AODV) discoveryTimeout(target packet.NodeID) {
+	d, ok := a.discovering[target]
+	if !ok {
+		return
+	}
+	d.retries++
+	if d.retries > a.cfg.MaxDiscoveryRetries {
+		a.stats.DroppedNoRoute += uint64(len(d.queue) + len(a.salvage[target]))
+		delete(a.salvage, target)
+		delete(a.discovering, target)
+		return
+	}
+	a.stats.Rediscoveries++
+	a.floodRREQRing(target, a.ringTTL(d.retries))
+	d.timer.Reset(a.cfg.DiscoveryTimeout)
+}
+
+func (a *AODV) sendHello() {
+	a.stats.Hellos++
+	a.n.MAC.Enqueue(&packet.Packet{
+		Kind: packet.KindHello, To: packet.Broadcast,
+		Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeHello,
+	}, 0)
+}
+
+// checkNeighbors expires silent neighbors and tears down routes through
+// them.
+func (a *AODV) checkNeighbors() {
+	now := a.n.Kernel.Now()
+	deadline := sim.Time(float64(a.cfg.HelloLoss)) * a.cfg.HelloInterval
+	var dead []packet.NodeID
+	for id, last := range a.neighbors {
+		if now-last > deadline {
+			dead = append(dead, id)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		delete(a.neighbors, id)
+		a.stats.LinkBreaks++
+		a.invalidateVia(id)
+	}
+}
+
+// invalidateVia drops every route whose next hop is gone and advertises
+// the loss.
+func (a *AODV) invalidateVia(hop packet.NodeID) {
+	var lost []packet.NodeID
+	for dest, r := range a.routes {
+		if r.nextHop == hop {
+			delete(a.routes, dest)
+			a.stats.RoutesInvalided++
+			lost = append(lost, dest)
+		}
+	}
+	if hop != a.n.ID {
+		// The neighbor itself is unreachable as a destination too.
+		if _, ok := a.routes[hop]; ok {
+			delete(a.routes, hop)
+			a.stats.RoutesInvalided++
+		}
+		lost = append(lost, hop)
+	}
+	if len(lost) == 0 {
+		return
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	a.stats.RERRSent++
+	a.n.MAC.Enqueue(&packet.Packet{
+		Kind: packet.KindRERR, To: packet.Broadcast,
+		Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeControl,
+		Payload: rerrInfo{unreachable: lost},
+	}, 0)
+}
+
+// OnDeliver implements node.Protocol.
+func (a *AODV) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
+	// Any frame doubles as a hello from its transmitter.
+	a.neighbors[pkt.From] = a.n.Kernel.Now()
+	switch pkt.Kind {
+	case packet.KindHello:
+		// Liveness only, handled above.
+	case packet.KindRREQ:
+		a.handleRREQ(pkt)
+	case packet.KindRREP:
+		if pkt.To == a.n.ID {
+			a.handleRREP(pkt)
+		}
+	case packet.KindRERR:
+		a.handleRERR(pkt)
+	case packet.KindData:
+		if pkt.To == a.n.ID {
+			a.handleData(pkt)
+		}
+	}
+}
+
+// installRoute adopts a route if it is fresher or shorter than what we
+// have.
+func (a *AODV) installRoute(dest, nextHop packet.NodeID, hops int, seq uint32) {
+	now := a.n.Kernel.Now()
+	r, ok := a.routes[dest]
+	if ok && now <= r.expiry {
+		if seq < r.seq || (seq == r.seq && hops >= r.hops) {
+			return
+		}
+	}
+	a.routes[dest] = &route{nextHop: nextHop, hops: hops, seq: seq, expiry: now + a.cfg.RouteLifetime}
+}
+
+func (a *AODV) handleRREQ(pkt *packet.Packet) {
+	info, _ := pkt.Payload.(rreqInfo)
+	// Reverse route to the originator through whoever relayed this copy.
+	a.installRoute(pkt.Origin, pkt.From, pkt.HopCount, info.originSeq)
+	if a.rreqSeen.Seen(pkt.Key()) {
+		return
+	}
+	if pkt.Target == a.n.ID {
+		// Destination answers with a unicast RREP along the reverse path.
+		rev := a.validRoute(pkt.Origin)
+		if rev == nil {
+			return
+		}
+		a.stats.RREPSent++
+		a.n.MAC.Enqueue(&packet.Packet{
+			Kind: packet.KindRREP, To: rev.nextHop,
+			Origin: a.n.ID, Target: pkt.Origin, Seq: pkt.Seq,
+			HopCount: 1, TTL: a.cfg.TTL, Size: packet.SizeControl,
+			Payload: rrepInfo{destSeq: a.nextSeq()},
+		}, 0)
+		return
+	}
+	if pkt.TTL <= 1 {
+		return
+	}
+	// "In this particular implementation of AODV, the route discovery
+	// procedure is based on original flooding" (§4.3): plain dedup
+	// flooding with a random backoff, no prioritization.
+	fwd := pkt.Clone()
+	fwd.To = packet.Broadcast
+	fwd.HopCount++
+	fwd.TTL--
+	backoff := sim.Time(a.n.Rng.Float64()) * a.cfg.RREQBackoff
+	a.n.Kernel.Schedule(backoff, func() {
+		a.stats.RREQForwarded++
+		a.n.MAC.Enqueue(fwd, 0)
+	})
+}
+
+func (a *AODV) handleRREP(pkt *packet.Packet) {
+	info, _ := pkt.Payload.(rrepInfo)
+	// Forward route to the replying destination.
+	a.installRoute(pkt.Origin, pkt.From, pkt.HopCount, info.destSeq)
+	if pkt.Target == a.n.ID {
+		// Discovery complete: release queued and salvaged data.
+		if d, ok := a.discovering[pkt.Origin]; ok {
+			d.timer.Stop()
+			delete(a.discovering, pkt.Origin)
+			for _, pd := range d.queue {
+				if r := a.validRoute(pkt.Origin); r != nil {
+					a.sendDataVia(r, pkt.Origin, pd.size, pd.created)
+				} else {
+					a.stats.DroppedNoRoute++
+				}
+			}
+		}
+		a.flushSalvage(pkt.Origin)
+		return
+	}
+	rev := a.validRoute(pkt.Target)
+	if rev == nil {
+		return // reverse route expired; originator will retry
+	}
+	fwd := pkt.Clone()
+	fwd.To = rev.nextHop
+	fwd.HopCount++
+	if fwd.TTL--; fwd.TTL <= 0 {
+		return
+	}
+	a.stats.RREPForwarded++
+	a.n.MAC.Enqueue(fwd, 0)
+}
+
+func (a *AODV) handleRERR(pkt *packet.Packet) {
+	info, ok := pkt.Payload.(rerrInfo)
+	if !ok {
+		return
+	}
+	var propagate []packet.NodeID
+	for _, dest := range info.unreachable {
+		if r, ok := a.routes[dest]; ok && r.nextHop == pkt.From {
+			delete(a.routes, dest)
+			a.stats.RoutesInvalided++
+			propagate = append(propagate, dest)
+		}
+	}
+	if len(propagate) > 0 {
+		a.stats.RERRSent++
+		a.n.MAC.Enqueue(&packet.Packet{
+			Kind: packet.KindRERR, To: packet.Broadcast,
+			Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeControl,
+			Payload: rerrInfo{unreachable: propagate},
+		}, 0)
+	}
+}
+
+func (a *AODV) handleData(pkt *packet.Packet) {
+	if pkt.Target == a.n.ID {
+		// Salvaged copies of one logical packet can arrive over two
+		// paths; deliver only the first.
+		if !a.consumed.Seen(pkt.Key()) {
+			a.stats.DataDelivered++
+			a.n.Deliver(pkt)
+		}
+		return
+	}
+	r := a.validRoute(pkt.Target)
+	if r == nil {
+		// No usable route: salvage the packet behind a fresh discovery
+		// rather than dropping it (and tell upstream via RERR).
+		a.invalidateVia(pkt.Target)
+		a.salvageData(pkt)
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.To = r.nextHop
+	fwd.HopCount++
+	if fwd.TTL--; fwd.TTL <= 0 {
+		a.stats.DataDropped++
+		return
+	}
+	r.expiry = a.n.Kernel.Now() + a.cfg.RouteLifetime
+	a.stats.DataForwarded++
+	a.n.MAC.Enqueue(fwd, 0)
+}
+
+// flushSalvage forwards packets parked for target once a route exists.
+func (a *AODV) flushSalvage(target packet.NodeID) {
+	list := a.salvage[target]
+	if len(list) == 0 {
+		return
+	}
+	delete(a.salvage, target)
+	for _, pkt := range list {
+		a.salvageData(pkt)
+	}
+}
+
+// OnSent implements node.Protocol.
+func (a *AODV) OnSent(pkt *packet.Packet) {}
+
+// OnUnicastFailed implements node.Protocol: the MAC exhausted its
+// retries toward pkt.To — treat the link as broken immediately (faster
+// than waiting for hello loss).
+func (a *AODV) OnUnicastFailed(pkt *packet.Packet) {
+	a.stats.LinkBreaks++
+	delete(a.neighbors, pkt.To)
+	a.invalidateVia(pkt.To)
+	// Salvage data packets — originated here or being forwarded — by
+	// re-routing them through a fresh route (or discovery), keeping
+	// their original headers so end-to-end delay stays honest.
+	if pkt.Kind == packet.KindData && pkt.Target != a.n.ID {
+		a.stats.Rediscoveries++
+		a.salvageData(pkt)
+	}
+}
+
+// salvageData re-sends a data packet over the current route or parks it
+// behind a discovery for its target.
+func (a *AODV) salvageData(pkt *packet.Packet) {
+	if r := a.validRoute(pkt.Target); r != nil {
+		fwd := pkt.Clone()
+		fwd.To = r.nextHop
+		fwd.UID = 0 // a new frame, not an ARQ duplicate
+		a.stats.DataForwarded++
+		a.n.MAC.Enqueue(fwd, 0)
+		return
+	}
+	list := a.salvage[pkt.Target]
+	if len(list) >= 16 {
+		a.stats.DataDropped++ // bounded salvage buffer
+		return
+	}
+	a.salvage[pkt.Target] = append(list, pkt.Clone())
+	if _, ok := a.discovering[pkt.Target]; !ok {
+		d := &discovery{}
+		d.timer = sim.NewTimer(a.n.Kernel, func() { a.discoveryTimeout(pkt.Target) })
+		a.discovering[pkt.Target] = d
+		a.floodRREQRing(pkt.Target, a.ringTTL(0))
+		d.timer.Reset(a.cfg.DiscoveryTimeout)
+	}
+}

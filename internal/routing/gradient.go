@@ -1,0 +1,249 @@
+package routing
+
+import (
+	"routeless/internal/core"
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+)
+
+// GradientConfig parameterizes the simplified Gradient Routing
+// comparator. Zero fields take the noted defaults.
+type GradientConfig struct {
+	// Backoff is the forwarding jitter; default 5 ms.
+	Backoff sim.Time
+	// DiscoveryBackoff is the gradient-setup flood backoff; default 10 ms.
+	DiscoveryBackoff sim.Time
+	// DiscoveryTimeout and MaxDiscoveryRetries mirror Routeless Routing.
+	DiscoveryTimeout    sim.Time
+	MaxDiscoveryRetries int
+	// TTL bounds packet travel; default 32.
+	TTL int
+	// DataSize is the payload bytes; default 512.
+	DataSize int
+}
+
+func (c GradientConfig) withDefaults() GradientConfig {
+	if c.Backoff == 0 {
+		c.Backoff = 5e-3
+	}
+	if c.DiscoveryBackoff == 0 {
+		c.DiscoveryBackoff = 10e-3
+	}
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = 2
+	}
+	if c.MaxDiscoveryRetries == 0 {
+		c.MaxDiscoveryRetries = 3
+	}
+	if c.TTL == 0 {
+		c.TTL = 32
+	}
+	if c.DataSize == 0 {
+		c.DataSize = packet.SizeData
+	}
+	return c
+}
+
+// GradientStats counts events at one node.
+type GradientStats struct {
+	DataSent          uint64
+	DataDelivered     uint64
+	Forwards          uint64 // gradient-qualified retransmissions
+	NotCloserDrops    uint64 // copies dropped for lacking progress
+	DiscoveriesSent   uint64
+	DiscoveryForwards uint64
+	RepliesSent       uint64
+	DroppedNoRoute    uint64
+	TTLDrops          uint64
+}
+
+// Gradient is the §4.4 comparison protocol (after Poor's Gradient
+// Routing): "only nodes with a smaller hop count to the destination are
+// allowed to forward packets", and "every node with a smaller hop count
+// may retransmit the same packet" — no election, no cancellation, so a
+// band of redundant copies marches toward the destination. The paper's
+// criticism — "it makes the network more congested" — is exactly what
+// the ABL4 ablation measures against Routeless Routing.
+type Gradient struct {
+	cfg GradientConfig
+	n   *node.Node
+
+	table       *ActiveTable
+	seq         uint32
+	floodDedup  *packet.DedupCache
+	fwdDedup    *packet.DedupCache
+	consumed    *packet.DedupCache
+	discovering map[packet.NodeID]*discovery
+	discPolicy  core.BackoffPolicy
+
+	stats GradientStats
+}
+
+// NewGradient builds an instance; install with Network.Install.
+func NewGradient(cfg GradientConfig) *Gradient {
+	cfg = cfg.withDefaults()
+	return &Gradient{
+		cfg:         cfg,
+		table:       NewActiveTable(),
+		floodDedup:  packet.NewDedupCache(8192),
+		fwdDedup:    packet.NewDedupCache(8192),
+		consumed:    packet.NewDedupCache(8192),
+		discovering: make(map[packet.NodeID]*discovery),
+		discPolicy:  core.Uniform{Max: cfg.DiscoveryBackoff},
+	}
+}
+
+// Start implements node.Protocol.
+func (g *Gradient) Start(n *node.Node) { g.n = n }
+
+// Stats returns the node's counters.
+func (g *Gradient) Stats() GradientStats { return g.stats }
+
+// Send implements node.Protocol.
+func (g *Gradient) Send(target packet.NodeID, size int) {
+	if size == 0 {
+		size = g.cfg.DataSize
+	}
+	now := g.n.Kernel.Now()
+	g.stats.DataSent++
+	if target == g.n.ID {
+		g.stats.DataDelivered++
+		g.n.Deliver(&packet.Packet{Kind: packet.KindData, Origin: g.n.ID, Target: target, Size: size, CreatedAt: now})
+		return
+	}
+	if h := g.table.Hops(target); h >= 0 {
+		g.sendData(target, size, now)
+		return
+	}
+	d, ok := g.discovering[target]
+	if !ok {
+		d = &discovery{}
+		d.timer = sim.NewTimer(g.n.Kernel, func() { g.discoveryTimeout(target) })
+		g.discovering[target] = d
+		g.floodDiscovery(target)
+		d.timer.Reset(g.cfg.DiscoveryTimeout)
+	}
+	d.queue = append(d.queue, pendingData{size: size, created: now})
+}
+
+func (g *Gradient) nextSeq() uint32 { g.seq++; return g.seq }
+
+func (g *Gradient) sendData(target packet.NodeID, size int, created sim.Time) {
+	g.n.MAC.Enqueue(&packet.Packet{
+		Kind: packet.KindData, To: packet.Broadcast,
+		Origin: g.n.ID, Target: target, Seq: g.nextSeq(),
+		HopCount: 1, ExpectedHops: g.table.Hops(target),
+		TTL: g.cfg.TTL, Size: size, CreatedAt: created,
+	}, 0)
+}
+
+func (g *Gradient) floodDiscovery(target packet.NodeID) {
+	pkt := &packet.Packet{
+		Kind: packet.KindDiscovery, To: packet.Broadcast,
+		Origin: g.n.ID, Target: target, Seq: g.nextSeq(),
+		HopCount: 1, TTL: g.cfg.TTL, Size: packet.SizeControl,
+		CreatedAt: g.n.Kernel.Now(),
+	}
+	g.floodDedup.Seen(pkt.Key())
+	g.stats.DiscoveriesSent++
+	g.n.MAC.Enqueue(pkt, 0)
+}
+
+func (g *Gradient) discoveryTimeout(target packet.NodeID) {
+	d, ok := g.discovering[target]
+	if !ok {
+		return
+	}
+	d.retries++
+	if d.retries > g.cfg.MaxDiscoveryRetries {
+		g.stats.DroppedNoRoute += uint64(len(d.queue))
+		delete(g.discovering, target)
+		return
+	}
+	g.floodDiscovery(target)
+	d.timer.Reset(g.cfg.DiscoveryTimeout)
+}
+
+// OnDeliver implements node.Protocol.
+func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
+	now := g.n.Kernel.Now()
+	switch pkt.Kind {
+	case packet.KindDiscovery:
+		g.table.Observe(pkt.Origin, pkt.HopCount, pkt.Seq, now)
+		if g.floodDedup.Seen(pkt.Key()) {
+			return
+		}
+		if pkt.Target == g.n.ID {
+			// Establish the reverse gradient with a reply that flows
+			// back down the just-built gradient.
+			g.stats.RepliesSent++
+			g.n.MAC.Enqueue(&packet.Packet{
+				Kind: packet.KindReply, To: packet.Broadcast,
+				Origin: g.n.ID, Target: pkt.Origin, Seq: g.nextSeq(),
+				HopCount: 1, ExpectedHops: g.table.Hops(pkt.Origin),
+				TTL: g.cfg.TTL, Size: packet.SizeControl, CreatedAt: now,
+			}, 0)
+			return
+		}
+		if pkt.TTL <= 1 {
+			g.stats.TTLDrops++
+			return
+		}
+		backoff, _ := g.discPolicy.Backoff(core.Context{Rand: g.n.Rng})
+		fwd := pkt.Clone()
+		fwd.To = packet.Broadcast
+		fwd.HopCount++
+		fwd.TTL--
+		g.n.Kernel.Schedule(backoff, func() {
+			g.stats.DiscoveryForwards++
+			g.n.MAC.Enqueue(fwd, 0)
+		})
+	case packet.KindReply, packet.KindData:
+		g.table.Observe(pkt.Origin, pkt.HopCount, pkt.Seq, now)
+		key := pkt.Key()
+		if pkt.Target == g.n.ID {
+			if !g.consumed.Seen(key) {
+				if pkt.Kind == packet.KindData {
+					g.stats.DataDelivered++
+					g.n.Deliver(pkt)
+				} else if d, ok := g.discovering[pkt.Origin]; ok {
+					d.timer.Stop()
+					delete(g.discovering, pkt.Origin)
+					for _, pd := range d.queue {
+						g.sendData(pkt.Origin, pd.size, pd.created)
+					}
+				}
+			}
+			return
+		}
+		if g.fwdDedup.Seen(key) {
+			return // each node retransmits a packet at most once
+		}
+		if pkt.TTL <= 1 {
+			g.stats.TTLDrops++
+			return
+		}
+		h := g.table.Hops(pkt.Target)
+		if h < 0 || h >= pkt.ExpectedHops {
+			g.stats.NotCloserDrops++
+			return // only strictly closer nodes forward
+		}
+		fwd := pkt.Clone()
+		fwd.To = packet.Broadcast
+		fwd.HopCount++
+		fwd.TTL--
+		fwd.ExpectedHops = h
+		backoff := sim.Time(g.n.Rng.Float64()) * g.cfg.Backoff
+		g.n.Kernel.Schedule(backoff, func() {
+			g.stats.Forwards++
+			g.n.MAC.Enqueue(fwd, float64(backoff))
+		})
+	}
+}
+
+// OnSent implements node.Protocol.
+func (g *Gradient) OnSent(pkt *packet.Packet) {}
+
+// OnUnicastFailed implements node.Protocol; Gradient never unicasts.
+func (g *Gradient) OnUnicastFailed(pkt *packet.Packet) {}

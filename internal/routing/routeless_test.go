@@ -1,0 +1,331 @@
+package routing
+
+import (
+	"testing"
+
+	"routeless/internal/geo"
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+)
+
+// buildRR constructs a network running Routeless Routing on every node.
+func buildRR(t *testing.T, cfg RoutelessConfig, seed int64, positions []geo.Point) (*node.Network, []*Routeless) {
+	t.Helper()
+	nw := node.New(node.Config{Positions: positions, Seed: seed})
+	rrs := make([]*Routeless, len(positions))
+	i := 0
+	nw.Install(func(n *node.Node) node.Protocol {
+		r := NewRouteless(cfg)
+		rrs[i] = r
+		i++
+		return r
+	})
+	return nw, rrs
+}
+
+func line(n int, spacing float64) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return out
+}
+
+func TestRRDirectNeighborDelivery(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 1, line(2, 150))
+	var got []*packet.Packet
+	nw.Nodes[1].OnAppReceive = func(p *packet.Packet) { got = append(got, p.Clone()) }
+	rrs[0].Send(1, 0)
+	nw.Run(5)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if got[0].HopCount != 1 {
+		t.Fatalf("hop count %d, want 1", got[0].HopCount)
+	}
+	st := rrs[0].Stats()
+	if st.DiscoveriesSent != 1 || st.DataSent != 1 {
+		t.Fatalf("source stats %+v", st)
+	}
+	if rrs[1].Stats().RepliesSent != 1 {
+		t.Fatal("destination never replied to discovery")
+	}
+}
+
+func TestRRMultiHopDelivery(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 2, line(5, 200))
+	var got []*packet.Packet
+	nw.Nodes[4].OnAppReceive = func(p *packet.Packet) { got = append(got, p.Clone()) }
+	rrs[0].Send(4, 0)
+	nw.Run(10)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if got[0].HopCount != 4 {
+		t.Fatalf("hop count %d, want 4 on a 5-node line", got[0].HopCount)
+	}
+	// End-to-end delay includes discovery; must still be well under a
+	// second on an idle 4-hop line.
+	delay := float64(nw.Kernel.Now()) // upper bound sanity only
+	_ = delay
+}
+
+func TestRRGradientEstablishedByDiscovery(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 3, line(4, 200))
+	rrs[0].Send(3, 0)
+	nw.Run(10)
+	// Every node should know its distance to the source (origin 0).
+	for i, r := range rrs {
+		if i == 0 {
+			continue
+		}
+		if h := r.Table().Hops(0); h != i {
+			t.Fatalf("node %d table hops to source = %d, want %d", i, h, i)
+		}
+	}
+	// And the source learned the destination's distance from the reply.
+	if h := rrs[0].Table().Hops(3); h != 3 {
+		t.Fatalf("source hops to dest = %d, want 3", h)
+	}
+}
+
+func TestRRSecondPacketSkipsDiscovery(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 4, line(3, 200))
+	count := 0
+	nw.Nodes[2].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(2, 0)
+	nw.Run(5)
+	first := rrs[0].Stats().DiscoveriesSent
+	rrs[0].Send(2, 0)
+	nw.Run(10)
+	if count != 2 {
+		t.Fatalf("delivered %d, want 2", count)
+	}
+	if rrs[0].Stats().DiscoveriesSent != first {
+		t.Fatal("second packet triggered another discovery")
+	}
+}
+
+func TestRRBidirectionalTraffic(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 5, line(4, 200))
+	got := map[packet.NodeID]int{}
+	nw.Nodes[0].OnAppReceive = func(p *packet.Packet) { got[0]++ }
+	nw.Nodes[3].OnAppReceive = func(p *packet.Packet) { got[3]++ }
+	rrs[0].Send(3, 0)
+	rrs[3].Send(0, 0)
+	nw.Run(10)
+	if got[3] != 1 || got[0] != 1 {
+		t.Fatalf("deliveries %v, want one each way", got)
+	}
+}
+
+func TestRRIntermediateFailureReroutes(t *testing.T) {
+	// Diamond: source 0, two possible relays 1 (upper) and 2 (lower),
+	// destination 3. Kill whichever relay carried the first packet; the
+	// next packet must still arrive via the other relay, with no
+	// discovery re-flood — the §4.2 "seamless transition" claim.
+	positions := []geo.Point{
+		{X: 0, Y: 0}, {X: 200, Y: 100}, {X: 200, Y: -100}, {X: 400, Y: 0},
+	}
+	nw, rrs := buildRR(t, RoutelessConfig{}, 6, positions)
+	count := 0
+	nw.Nodes[3].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(3, 0)
+	nw.Run(5)
+	if count != 1 {
+		t.Fatalf("first packet not delivered (%d)", count)
+	}
+	discoveriesAfterFirst := rrs[0].Stats().DiscoveriesSent
+	// Kill the relay that actually forwarded data.
+	var relay int
+	if rrs[1].Stats().Relays > 0 {
+		relay = 1
+	} else if rrs[2].Stats().Relays > 0 {
+		relay = 2
+	} else {
+		t.Fatal("no relay recorded for first packet")
+	}
+	nw.Nodes[relay].Fail()
+	rrs[0].Send(3, 0)
+	nw.Run(15)
+	if count != 2 {
+		t.Fatalf("second packet lost after relay failure (delivered=%d)", count)
+	}
+	if rrs[0].Stats().DiscoveriesSent != discoveriesAfterFirst {
+		t.Fatal("failure triggered a re-discovery; Routeless should reroute in place")
+	}
+	other := 3 - relay // the surviving relay (1↔2)
+	if rrs[other].Stats().Relays == 0 {
+		t.Fatal("surviving relay never carried the rerouted packet")
+	}
+}
+
+func TestRRCancellationSuppressesRedundantRelays(t *testing.T) {
+	// Several co-located candidate relays: exactly one should usually
+	// win each hop; the rest cancel on overhear or ACK.
+	positions := []geo.Point{
+		{X: 0, Y: 0},
+		{X: 200, Y: 0}, {X: 200, Y: 30}, {X: 200, Y: -30},
+		{X: 400, Y: 0},
+	}
+	nw, rrs := buildRR(t, RoutelessConfig{}, 7, positions)
+	count := 0
+	nw.Nodes[4].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(4, 0)
+	nw.Run(10)
+	if count != 1 {
+		t.Fatalf("delivered %d, want 1", count)
+	}
+	var relays, cancels uint64
+	for _, r := range rrs[1:4] {
+		st := r.Stats()
+		relays += st.Relays
+		cancels += st.CancelledByOverhear + st.CancelledByAck
+	}
+	if relays == 0 {
+		t.Fatal("no middle relay carried the packet")
+	}
+	if cancels == 0 {
+		t.Fatal("no cancellations among co-located candidates")
+	}
+	if relays > 2 {
+		t.Fatalf("%d middle relays transmitted the same data packet", relays)
+	}
+}
+
+func TestRRArbiterRetransmitsThroughGap(t *testing.T) {
+	// The destination's reply must survive an unlucky first
+	// transmission. Simulate by failing the sole relay during the
+	// discovery phase and recovering it before the retransmission.
+	nw, rrs := buildRR(t, RoutelessConfig{}, 8, line(3, 200))
+	count := 0
+	nw.Nodes[2].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(2, 0)
+	// Fail the middle relay just before the reply flows back and keep
+	// it down past the relay timeout: the reply originator must
+	// retransmit into the gap before recovery completes the path.
+	nw.Kernel.Schedule(0.012, func() { nw.Nodes[1].Fail() })
+	nw.Kernel.Schedule(0.5, func() { nw.Nodes[1].Recover() })
+	nw.Run(20)
+	if count != 1 {
+		t.Fatalf("delivered %d, want 1 (arbiter retransmission should recover)", count)
+	}
+	if rrs[2].Stats().Retransmissions+rrs[0].Stats().Retransmissions == 0 {
+		t.Fatal("no retransmissions recorded despite the outage window")
+	}
+}
+
+func TestRRNoRouteGivesUp(t *testing.T) {
+	// Destination unreachable (out of range): discovery retries then
+	// drops the queued data.
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 200, Y: 0}, {X: 2500, Y: 0}}
+	cfg := RoutelessConfig{DiscoveryTimeout: 0.2, MaxDiscoveryRetries: 2}
+	nw, rrs := buildRR(t, cfg, 9, positions)
+	rrs[0].Send(2, 0)
+	nw.Run(10)
+	st := rrs[0].Stats()
+	if st.DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1", st.DroppedNoRoute)
+	}
+	if st.DiscoveriesSent != 3 { // initial + 2 retries
+		t.Fatalf("DiscoveriesSent = %d, want 3", st.DiscoveriesSent)
+	}
+}
+
+func TestRRSendToSelf(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 10, line(2, 150))
+	count := 0
+	nw.Nodes[0].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(0, 0)
+	nw.Run(1)
+	if count != 1 {
+		t.Fatalf("self-delivery count %d, want 1", count)
+	}
+	if nw.MACPackets() != 0 {
+		t.Fatal("self-send put frames on the air")
+	}
+}
+
+func TestRRDataStreamOverChain(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 11, line(4, 200))
+	count := 0
+	nw.Nodes[3].OnAppReceive = func(*packet.Packet) { count++ }
+	for i := 0; i < 10; i++ {
+		at := sim.Time(1 + float64(i)*0.5)
+		nw.Kernel.At(at, func() { rrs[0].Send(3, 0) })
+	}
+	nw.Run(20)
+	if count < 9 {
+		t.Fatalf("delivered %d/10", count)
+	}
+}
+
+func TestRRStateGC(t *testing.T) {
+	nw, rrs := buildRR(t, RoutelessConfig{}, 12, line(3, 200))
+	rrs[0].Send(2, 0)
+	nw.Run(60) // several GC sweeps
+	for i, r := range rrs {
+		if len(r.relays) != 0 {
+			t.Fatalf("node %d still holds %d relay states after GC", i, len(r.relays))
+		}
+	}
+}
+
+func TestRRTTLBoundsRelaying(t *testing.T) {
+	cfg := RoutelessConfig{TTL: 2}
+	nw, rrs := buildRR(t, cfg, 13, line(4, 200))
+	count := 0
+	nw.Nodes[3].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(3, 0)
+	nw.Run(10)
+	if count != 0 {
+		t.Fatal("packet crossed 3 hops with TTL 2")
+	}
+}
+
+func TestRRQueuedDataFlushedByReply(t *testing.T) {
+	// Several packets sent while discovery is still in flight must all
+	// be queued and delivered once the path reply lands — with their
+	// original creation times (delay accounting includes the wait).
+	nw, rrs := buildRR(t, RoutelessConfig{}, 14, line(3, 200))
+	var delays []sim.Time
+	nw.Nodes[2].OnAppReceive = func(p *packet.Packet) {
+		delays = append(delays, nw.Kernel.Now()-p.CreatedAt)
+	}
+	for i := 0; i < 3; i++ {
+		rrs[0].Send(2, 64) // all before any reply can arrive
+	}
+	nw.Run(10)
+	if len(delays) != 3 {
+		t.Fatalf("delivered %d, want 3", len(delays))
+	}
+	if rrs[0].Stats().DiscoveriesSent != 1 {
+		t.Fatalf("discoveries = %d, want 1 (others queued)", rrs[0].Stats().DiscoveriesSent)
+	}
+	for _, d := range delays {
+		if d <= 0 {
+			t.Fatalf("non-positive end-to-end delay %v", d)
+		}
+	}
+}
+
+func TestRRConcurrentFlowsShareGradients(t *testing.T) {
+	// Two sources sending to the same destination: the second flow
+	// should find the gradient already in place (passive learning) and
+	// skip its own discovery.
+	nw, rrs := buildRR(t, RoutelessConfig{}, 15, line(4, 200))
+	count := 0
+	nw.Nodes[3].OnAppReceive = func(*packet.Packet) { count++ }
+	rrs[0].Send(3, 64)
+	nw.Run(5)
+	// Node 1 overheard the whole exchange: it knows the distance to 3.
+	rrs[1].Send(3, 64)
+	nw.Run(10)
+	if count != 2 {
+		t.Fatalf("delivered %d, want 2", count)
+	}
+	if rrs[1].Stats().DiscoveriesSent != 0 {
+		t.Fatal("second source re-discovered despite passive gradient")
+	}
+}

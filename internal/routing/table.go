@@ -1,0 +1,119 @@
+// Package routing implements the paper's §4 protocols: Routeless
+// Routing (the contribution — next-hop election by hop-count gradient,
+// no stored routes) and an AODV baseline (explicit routes, hello-based
+// link maintenance, route error recovery), plus a simplified Gradient
+// Routing for the §4.4 comparison.
+package routing
+
+import (
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+)
+
+// tableEntry is one row of the active node table: "(1) the identity of
+// a target node … and (2) the number of hops from this target node to
+// the node owning the table" (§4.1).
+type tableEntry struct {
+	hops    int
+	seq     uint32   // sequence number of the freshest packet observed
+	updated sim.Time // last time the stored hop count was set or confirmed
+}
+
+// ActiveTable is Routeless Routing's only data structure. Entries are
+// refreshed passively from the actual-hop-count field of every
+// overheard packet ("data packets and path reply packets always carry
+// the most up-to-date information about the distance", §4.2).
+//
+// Update semantics guard the gradient in both directions:
+//   - shorter observations win immediately (within or across sequence
+//     numbers) — the first, shortest copy of a flood;
+//   - longer observations from newer sequence numbers are accepted only
+//     after the stored shorter distance has gone unconfirmed for
+//     InflateAfter seconds. Without this damping, every copy that took
+//     a redundant longer path would overwrite a still-valid shorter
+//     entry (it carries a newer sequence number), the election's
+//     lowest-delay band would widen each round, and the gradient would
+//     dissolve. With it, entries still grow when the short path truly
+//     dies (node failures), just on the damping timescale.
+type ActiveTable struct {
+	entries map[packet.NodeID]*tableEntry
+
+	// InflateAfter is the damping window in seconds; default 5.
+	InflateAfter float64
+}
+
+// NewActiveTable returns an empty table with the default damping.
+func NewActiveTable() *ActiveTable {
+	return &ActiveTable{
+		entries:      make(map[packet.NodeID]*tableEntry),
+		InflateAfter: 5,
+	}
+}
+
+// Observe folds in one overheard packet from origin with the given
+// actual hop count and origin sequence number at time now.
+func (t *ActiveTable) Observe(origin packet.NodeID, hops int, seq uint32, now sim.Time) {
+	if hops <= 0 {
+		return
+	}
+	e, ok := t.entries[origin]
+	if !ok {
+		t.entries[origin] = &tableEntry{hops: hops, seq: seq, updated: now}
+		return
+	}
+	if seq < e.seq {
+		return // stale packet, no information
+	}
+	switch {
+	case hops <= e.hops:
+		// Shorter or confirming: accept and refresh.
+		e.hops, e.seq, e.updated = hops, seq, now
+	case seq > e.seq && float64(now-e.updated) > t.InflateAfter:
+		// Longer, but the shorter distance has not been confirmed in a
+		// while: the short path is likely gone.
+		e.hops, e.seq, e.updated = hops, seq, now
+	case seq > e.seq:
+		// Longer and the short distance is still fresh: keep the hops,
+		// advance the sequence horizon.
+		e.seq = seq
+	}
+}
+
+// Hops returns the table distance to target, or -1 when unknown — the
+// h_table input of the backoff equation.
+func (t *ActiveTable) Hops(target packet.NodeID) int {
+	if e, ok := t.entries[target]; ok {
+		return e.hops
+	}
+	return -1
+}
+
+// Age returns seconds since the entry for target was refreshed, or -1
+// when there is no entry.
+func (t *ActiveTable) Age(target packet.NodeID, now sim.Time) float64 {
+	if e, ok := t.entries[target]; ok {
+		return float64(now - e.updated)
+	}
+	return -1
+}
+
+// Len returns the number of known targets.
+func (t *ActiveTable) Len() int { return len(t.entries) }
+
+// Forget removes the entry for target (used by tests and by the
+// staleness sweep).
+func (t *ActiveTable) Forget(target packet.NodeID) { delete(t.entries, target) }
+
+// Sweep drops entries older than maxAge. Routeless Routing does not
+// need this for correctness — stale gradients self-correct — but it
+// bounds memory in long simulations.
+func (t *ActiveTable) Sweep(now sim.Time, maxAge float64) int {
+	removed := 0
+	for id, e := range t.entries {
+		if float64(now-e.updated) > maxAge {
+			delete(t.entries, id)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun measures raw event throughput: schedule-and-fire
+// of independent events.
+func BenchmarkScheduleRun(b *testing.B) {
+	k := NewKernel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Time(i)*1e-6, func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+// BenchmarkSelfScheduling measures the recycling fast path: one event
+// chain rescheduling itself b.N times.
+func BenchmarkSelfScheduling(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	var step func()
+	step = func() {
+		if n < b.N {
+			n++
+			k.Schedule(1e-6, step)
+		}
+	}
+	b.ResetTimer()
+	k.Schedule(0, step)
+	k.Run()
+}
+
+// BenchmarkTimerReset measures the protocol-timer hot path.
+func BenchmarkTimerReset(b *testing.B) {
+	k := NewKernel(1)
+	t := NewTimer(k, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(1)
+	}
+	t.Stop()
+}
+
+// BenchmarkHeapMixed measures interleaved schedule/cancel at a queue
+// depth typical of a 500-node simulation.
+func BenchmarkHeapMixed(b *testing.B) {
+	k := NewKernel(1)
+	const depth = 4096
+	evs := make([]*Event, 0, depth)
+	for i := 0; i < depth; i++ {
+		evs = append(evs, k.Schedule(Time(i)+1e6, func() {}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Cancel(evs[i%depth])
+		evs[i%depth] = k.Schedule(Time(i%depth)+1e6, func() {})
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim provides a sequential discrete-event simulation kernel:
+// a virtual clock, an event heap with deterministic tie-breaking, and
+// cancellable timers. It is the substrate every other package in this
+// repository runs on.
+//
+// The kernel is deliberately single-threaded: wireless protocol
+// simulations are causally ordered by the event heap, and determinism
+// (same seed, same schedule, same results) matters more than intra-run
+// parallelism. Parallelism belongs one level up, across runs (see
+// internal/parallel).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Time is simulation time in seconds since the start of the run.
+type Time float64
+
+// Infinity is a time later than any schedulable event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Duration helpers.
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) * 1e3 }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) * 1e6 }
+
+// Seconds returns t as a plain float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Event is a scheduled callback. Events are owned by the Kernel; user
+// code holds *Event only to cancel or inspect it.
+type Event struct {
+	at     Time
+	seq    uint64 // insertion order, breaks ties deterministically
+	fn     func()
+	index  int // position in the heap, -1 when not queued
+	kernel *Kernel
+}
+
+// At returns the time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Kernel is a discrete-event scheduler. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	rng       *rand.Rand
+	processed uint64
+	horizon   Time
+
+	// free is a small pool of recycled Event structs; DES workloads
+	// allocate millions of events and recycling them keeps GC pressure
+	// flat without reaching for unsafe tricks.
+	free []*Event
+}
+
+// NewKernel returns a kernel whose clock starts at 0 and whose random
+// stream is seeded with seed. All randomness used by simulation
+// components should derive from Rand() (directly or via rng.Split) so a
+// run is reproducible from its seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		horizon: Infinity,
+	}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's master random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule queues fn to run delay seconds after the current time and
+// returns the event handle. A negative delay panics: an event in the
+// past would violate causality.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v at t=%v", delay, k.now))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t (which must not precede the
+// current time) and returns the event handle.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free = k.free[:n-1]
+		*e = Event{}
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
+	e.kernel = k
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired or
+// already-cancelled event is a no-op, so callers can cancel
+// unconditionally.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.kernel != k {
+		return
+	}
+	heap.Remove(&k.events, e.index)
+	k.recycle(e)
+}
+
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.kernel = nil
+	if len(k.free) < 1024 {
+		k.free = append(k.free, e)
+	}
+}
+
+// Step executes the earliest pending event. It returns false when the
+// queue is empty or the next event lies beyond the horizon.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := k.events[0]
+	if e.at > k.horizon {
+		return false
+	}
+	heap.Pop(&k.events)
+	k.now = e.at
+	fn := e.fn
+	k.recycle(e)
+	k.processed++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or the horizon passes.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+	if k.horizon < Infinity && k.now < k.horizon {
+		k.now = k.horizon
+	}
+}
+
+// RunUntil executes events with timestamps not exceeding t, then
+// advances the clock to t. It is legal to call RunUntil repeatedly with
+// increasing times.
+func (k *Kernel) RunUntil(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, k.now))
+	}
+	old := k.horizon
+	k.horizon = t
+	for k.Step() {
+	}
+	k.horizon = old
+	k.now = t
+}
+
+// SetHorizon caps Run: events scheduled after t never execute. Use
+// Infinity to remove the cap.
+func (k *Kernel) SetHorizon(t Time) { k.horizon = t }
+
+// eventHeap is a binary min-heap ordered by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+func TestTimerBasic(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	tm := NewTimer(k, func() { fired++ })
+	if tm.Pending() {
+		t.Fatal("new timer should not be pending")
+	}
+	tm.Reset(1.0)
+	if !tm.Pending() {
+		t.Fatal("timer should be pending after Reset")
+	}
+	if tm.Deadline() != 1.0 {
+		t.Fatalf("deadline %v, want 1", tm.Deadline())
+	}
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("timer should not be pending after firing")
+	}
+	if tm.Fires() != 1 {
+		t.Fatalf("Fires %d, want 1", tm.Fires())
+	}
+}
+
+func TestTimerResetReplacesSchedule(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	tm := NewTimer(k, func() { at = k.Now() })
+	tm.Reset(1.0)
+	tm.Reset(5.0) // should cancel the 1.0 firing
+	k.Run()
+	if at != 5.0 {
+		t.Fatalf("fired at %v, want 5", at)
+	}
+	if tm.Fires() != 1 {
+		t.Fatalf("fired %d times, want 1", tm.Fires())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel(1)
+	tm := NewTimer(k, func() { t.Fatal("stopped timer fired") })
+	tm.Reset(1.0)
+	tm.Stop()
+	tm.Stop() // idempotent
+	k.Run()
+}
+
+func TestTimerResetAt(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	tm := NewTimer(k, func() { at = k.Now() })
+	k.Schedule(2.0, func() { tm.ResetAt(7.0) })
+	k.Run()
+	if at != 7.0 {
+		t.Fatalf("fired at %v, want 7", at)
+	}
+}
+
+func TestTimerDeadlineWhenStopped(t *testing.T) {
+	k := NewKernel(1)
+	tm := NewTimer(k, func() {})
+	if tm.Deadline() != Infinity {
+		t.Fatal("stopped timer deadline should be Infinity")
+	}
+}
+
+func TestTimerRestartInsideCallback(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	var tm *Timer
+	tm = NewTimer(k, func() {
+		times = append(times, k.Now())
+		if len(times) < 3 {
+			tm.Reset(1.0)
+		}
+	})
+	tm.Reset(1.0)
+	k.Run()
+	want := []Time{1, 2, 3}
+	if len(times) != 3 {
+		t.Fatalf("fired %d times, want 3", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	tk := NewTicker(k, 2.0, func() { times = append(times, k.Now()) })
+	tk.Start()
+	k.RunUntil(9.0)
+	want := []Time{2, 4, 6, 8}
+	if len(times) != len(want) {
+		t.Fatalf("ticked %d times, want %d: %v", len(times), len(want), times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", times, want)
+		}
+	}
+	tk.Stop()
+	k.SetHorizon(Infinity)
+	k.Run()
+	if len(times) != len(want) {
+		t.Fatal("ticker kept ticking after Stop")
+	}
+}
+
+func TestTickerStartAfterDephases(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	tk := NewTicker(k, 2.0, func() { times = append(times, k.Now()) })
+	tk.StartAfter(0.5)
+	k.RunUntil(5.0)
+	want := []Time{0.5, 2.5, 4.5}
+	if len(times) != len(want) {
+		t.Fatalf("ticks %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	k := NewKernel(1)
+	var times []Time
+	tk := NewTicker(k, 1.0, func() { times = append(times, k.Now()) })
+	tk.Start()
+	k.RunUntil(2.5) // ticks at 1, 2
+	tk.SetPeriod(3.0)
+	k.RunUntil(9.0) // next tick at 3 (already scheduled with old period), then 6, 9
+	if len(times) < 4 {
+		t.Fatalf("ticks %v", times)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTicker(NewKernel(1), 0, func() {})
+}
+
+func TestNilCallbacksPanic(t *testing.T) {
+	k := NewKernel(1)
+	func() {
+		defer func() { recover() }()
+		NewTimer(k, nil)
+		t.Error("NewTimer(nil) should panic")
+	}()
+	func() {
+		defer func() { recover() }()
+		k.Schedule(1, nil)
+		t.Error("Schedule(nil) should panic")
+	}()
+}

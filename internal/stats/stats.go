@@ -1,0 +1,228 @@
+// Package stats provides the measurement plumbing for experiments:
+// streaming moments (Welford), end-to-end delivery meters matching the
+// paper's three headline metrics (delivery ratio, end-to-end delay,
+// average hops), and table/CSV formatting for reproducing the figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance without storing
+// samples (Welford's online algorithm), plus min and max.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// update), so per-run accumulators can be combined across seeds.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := float64(w.n + o.n)
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/n
+	w.mean += d * float64(o.n) / n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n += o.n
+}
+
+// N returns the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// CI95 returns the 95% normal-approximation confidence half-width.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Meter tracks one protocol run's end-to-end performance: the paper's
+// delivery ratio ("packets received by all the destinations divided by
+// packets sent by all the sources"), end-to-end delay, and hop count.
+type Meter struct {
+	Sent     uint64
+	Received uint64
+	Delay    Welford
+	Hops     Welford
+}
+
+// PacketSent records a source emission.
+func (m *Meter) PacketSent() { m.Sent++ }
+
+// PacketReceived records a destination arrival with its measured
+// end-to-end delay (seconds) and traversed hop count.
+func (m *Meter) PacketReceived(delay float64, hops int) {
+	m.Received++
+	m.Delay.Add(delay)
+	m.Hops.Add(float64(hops))
+}
+
+// DeliveryRatio returns received/sent, or 0 when nothing was sent.
+func (m *Meter) DeliveryRatio() float64 {
+	if m.Sent == 0 {
+		return 0
+	}
+	return float64(m.Received) / float64(m.Sent)
+}
+
+// Merge combines another meter into this one.
+func (m *Meter) Merge(o Meter) {
+	m.Sent += o.Sent
+	m.Received += o.Received
+	m.Delay.Merge(o.Delay)
+	m.Hops.Merge(o.Hops)
+}
+
+// Table renders aligned experiment output and CSV, one row per
+// parameter point, the way the paper's figures tabulate series.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.4g.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers included).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

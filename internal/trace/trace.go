@@ -1,0 +1,180 @@
+// Package trace records which nodes relayed which packets and renders
+// the Figure 2 visualization: "the actual paths taken by different
+// packets", showing Routeless Routing steering traffic around congested
+// areas.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"routeless/internal/geo"
+	"routeless/internal/packet"
+	"routeless/internal/sim"
+)
+
+// Hop is one relay event for a logical packet.
+type Hop struct {
+	Node     packet.NodeID
+	At       sim.Time
+	HopCount int
+}
+
+// PathCollector accumulates relay events keyed by logical packet. Wire
+// its Record method into a protocol's OnRelay hook.
+type PathCollector struct {
+	paths map[packet.FlowKey][]Hop
+	relay map[packet.NodeID]int // per-node relay load
+}
+
+// NewPathCollector returns an empty collector.
+func NewPathCollector() *PathCollector {
+	return &PathCollector{
+		paths: make(map[packet.FlowKey][]Hop),
+		relay: make(map[packet.NodeID]int),
+	}
+}
+
+// Record logs that node transmitted pkt at time at.
+func (c *PathCollector) Record(node packet.NodeID, pkt *packet.Packet, at sim.Time) {
+	key := pkt.Key()
+	c.paths[key] = append(c.paths[key], Hop{Node: node, At: at, HopCount: pkt.HopCount})
+	c.relay[node]++
+}
+
+// Path returns the relay sequence for a logical packet in transmission
+// order.
+func (c *PathCollector) Path(key packet.FlowKey) []Hop {
+	hops := append([]Hop(nil), c.paths[key]...)
+	sort.SliceStable(hops, func(i, j int) bool { return hops[i].At < hops[j].At })
+	return hops
+}
+
+// Keys returns every recorded logical packet, ordered by origin, kind,
+// then sequence number.
+func (c *PathCollector) Keys() []packet.FlowKey {
+	keys := make([]packet.FlowKey, 0, len(c.paths))
+	for k := range c.paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Seq < b.Seq
+	})
+	return keys
+}
+
+// RelayLoad returns how many transmissions node made.
+func (c *PathCollector) RelayLoad(node packet.NodeID) int { return c.relay[node] }
+
+// NodesUsed returns the distinct relays of all packets from origin to
+// target of the given kind — the union of route nodes for one flow.
+func (c *PathCollector) NodesUsed(origin packet.NodeID, kind packet.Kind) map[packet.NodeID]int {
+	used := make(map[packet.NodeID]int)
+	for key, hops := range c.paths {
+		if key.Origin != origin || key.Kind != kind {
+			continue
+		}
+		for _, h := range hops {
+			used[h.Node]++
+		}
+	}
+	return used
+}
+
+// Canvas renders node positions and per-flow relay sets as ASCII art.
+type Canvas struct {
+	rect   geo.Rect
+	width  int
+	height int
+	cells  []rune
+}
+
+// NewCanvas creates a blank canvas mapping rect onto width columns; the
+// row count preserves the aspect ratio (terminal cells are ~2:1).
+func NewCanvas(rect geo.Rect, width int) *Canvas {
+	height := int(float64(width) * rect.Height() / rect.Width() / 2)
+	if height < 1 {
+		height = 1
+	}
+	c := &Canvas{rect: rect, width: width, height: height}
+	c.cells = make([]rune, width*height)
+	for i := range c.cells {
+		c.cells[i] = ' '
+	}
+	return c
+}
+
+func (c *Canvas) cellOf(p geo.Point) (int, bool) {
+	if !c.rect.Contains(p) {
+		return 0, false
+	}
+	x := int(float64(c.width) * (p.X - c.rect.Min.X) / c.rect.Width())
+	y := int(float64(c.height) * (p.Y - c.rect.Min.Y) / c.rect.Height())
+	if x >= c.width {
+		x = c.width - 1
+	}
+	if y >= c.height {
+		y = c.height - 1
+	}
+	return y*c.width + x, true
+}
+
+// Plot draws ch at position p. Later plots overwrite earlier ones, so
+// draw background first, paths next, endpoints last.
+func (c *Canvas) Plot(p geo.Point, ch rune) {
+	if idx, ok := c.cellOf(p); ok {
+		c.cells[idx] = ch
+	}
+}
+
+// PlotAll draws ch at every position.
+func (c *Canvas) PlotAll(ps []geo.Point, ch rune) {
+	for _, p := range ps {
+		c.Plot(p, ch)
+	}
+}
+
+// String renders the canvas with a border.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", c.width) + "+\n")
+	for y := 0; y < c.height; y++ {
+		b.WriteByte('|')
+		b.WriteString(string(c.cells[y*c.width : (y+1)*c.width]))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", c.width) + "+\n")
+	return b.String()
+}
+
+// FlowSummary formats one flow's relay usage for reports: node ids with
+// their relay counts, ordered by count descending.
+func FlowSummary(used map[packet.NodeID]int) string {
+	type nc struct {
+		id packet.NodeID
+		n  int
+	}
+	list := make([]nc, 0, len(used))
+	for id, n := range used {
+		list = append(list, nc{id, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].id < list[j].id
+	})
+	parts := make([]string, len(list))
+	for i, x := range list {
+		parts[i] = fmt.Sprintf("%v×%d", x.id, x.n)
+	}
+	return strings.Join(parts, " ")
+}
