@@ -1,0 +1,163 @@
+// Command simlint enforces the simulator's determinism invariants with
+// static analysis. It walks the requested packages, runs every rule in
+// internal/lint, prints findings as file:line:col diagnostics, and
+// exits nonzero when any survive.
+//
+// Usage:
+//
+//	simlint ./...          # whole module (what CI runs)
+//	simlint ./internal/sim ./cmd/wmansim
+//	simlint -list          # show the rule set
+//	simlint -rules globalrand,floateq ./...
+//
+// Suppress a finding in source with:
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line above. The reason is mandatory.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"routeless/internal/lint"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		unknown := make([]string, 0, len(want))
+		for r := range want {
+			unknown = append(unknown, r)
+		}
+		sort.Strings(unknown)
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: unknown rule(s) %s (try -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	dirs, err := expandArgs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(moduleRoot(dirs), "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, u := range units {
+			for _, d := range lint.Run(u, analyzers) {
+				fmt.Println(d)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// expandArgs turns package patterns into directories. A trailing /...
+// recurses; plain paths name one directory.
+func expandArgs(args []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		abs, err := filepath.Abs(d)
+		if err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, a := range args {
+		if root, ok := strings.CutSuffix(a, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			sub, err := lint.Walk(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		fi, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", a)
+		}
+		add(a)
+	}
+	return dirs, nil
+}
+
+// moduleRoot finds the nearest ancestor of the first target directory
+// (or the working directory) containing go.mod.
+func moduleRoot(dirs []string) string {
+	start, _ := os.Getwd()
+	if len(dirs) > 0 {
+		start = dirs[0]
+	}
+	for d := start; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return start
+		}
+		d = parent
+	}
+}

@@ -14,7 +14,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"routeless"
 )
@@ -109,7 +108,6 @@ func main() {
 	for i, h := range held {
 		fmt.Printf("  node %d: %s (%d)\n", i, bar(h), h)
 	}
-	_ = rand.Int
 }
 
 func bar(n int) string {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -338,7 +337,6 @@ func TestManyRoundsLeaderDistribution(t *testing.T) {
 	if len(wins) < n {
 		t.Fatalf("only %d/%d nodes ever won: %v", len(wins), n, wins)
 	}
-	_ = rand.Int // keep math/rand import honest if unused elsewhere
 }
 
 // Property: on any random connected topology with an arbiter wired to

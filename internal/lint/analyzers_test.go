@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"strings"
+	"testing"
+)
+
+// sharedLoader is built once: the source importer caches type-checked
+// stdlib packages, so every fixture after the first is nearly free.
+var sharedLoader *Loader
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader("../..", "")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// analyze type-checks one fixture file and runs a single analyzer over
+// it. filename controls the _test.go exemptions, path the package-scope
+// ones.
+func analyze(t *testing.T, a *Analyzer, path, filename, src string) []Diagnostic {
+	t.Helper()
+	l := fixtureLoader(t)
+	f, err := parser.ParseFile(l.Fset, t.Name()+"/"+filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	info := newInfo()
+	pkg := l.typeCheck(path, []*ast.File{f}, info)
+	u := &Unit{Fset: l.Fset, Files: []*ast.File{f}, Pkg: pkg, Info: info, Path: path}
+	return Run(u, []*Analyzer{a})
+}
+
+type fixtureCase struct {
+	name     string
+	analyzer *Analyzer
+	path     string // import path the fixture pretends to live at
+	filename string
+	src      string
+	want     []string // one substring per expected diagnostic, in order
+}
+
+func runFixtures(t *testing.T, cases []fixtureCase) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := analyze(t, tc.analyzer, tc.path, tc.filename, tc.src)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				if !strings.Contains(got[i].Message, w) {
+					t.Errorf("diagnostic %d = %q, want substring %q", i, got[i].Message, w)
+				}
+			}
+		})
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches global source draws and Seed", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+func bad() float64 {
+	rand.Seed(42)
+	return rand.Float64()
+}`,
+			want: []string{"rand.Seed", "rand.Float64"},
+		},
+		{
+			name: "catches function value references", analyzer: GlobalRand,
+			path: "routeless/examples/demo", filename: "main.go",
+			src: `package main
+import "math/rand"
+func main() { _ = rand.Int }`,
+			want: []string{"rand.Int"},
+		},
+		{
+			name: "catches draws in test files too", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix_test.go",
+			src: `package fix
+import "math/rand"
+func helper() int { return rand.Intn(10) }`,
+			want: []string{"rand.Intn"},
+		},
+		{
+			name: "clean: seeded constructor and methods", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}`,
+		},
+	})
+}
+
+func TestWallClock(t *testing.T) {
+	const clockSrc = `package fix
+import "time"
+func bad() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}`
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches host clock in internal", analyzer: WallClock,
+			path: "routeless/internal/fix", filename: "fix.go", src: clockSrc,
+			want: []string{"time.Sleep", "time.Now"},
+		},
+		{
+			name: "catches host clock in cmd", analyzer: WallClock,
+			path: "routeless/cmd/fix", filename: "main.go", src: clockSrc,
+			want: []string{"time.Sleep", "time.Now"},
+		},
+		{
+			name: "clean: examples may touch the host clock", analyzer: WallClock,
+			path: "routeless/examples/demo", filename: "main.go", src: clockSrc,
+		},
+		{
+			name: "clean: test files are exempt", analyzer: WallClock,
+			path: "routeless/internal/fix", filename: "fix_test.go", src: clockSrc,
+		},
+		{
+			name: "clean: duration arithmetic without clock reads", analyzer: WallClock,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "time"
+func good(n int) time.Duration { return time.Duration(n) * time.Second }`,
+		},
+	})
+}
+
+func TestMapOrder(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches channel send under map range", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func bad(m map[int]int, sink chan int) {
+	for k := range m {
+		sink <- k
+	}
+}`,
+			want: []string{"sends on a channel"},
+		},
+		{
+			name: "catches scheduling under map range", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+type kernel struct{}
+func (kernel) Schedule(d float64, f func()) {}
+func bad(m map[int]func(), k kernel) {
+	for _, f := range m {
+		k.Schedule(0, f)
+	}
+}`,
+			want: []string{"calls Schedule"},
+		},
+		{
+			name: "catches unsorted result accumulation", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func bad(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k*v)
+	}
+	return out
+}`,
+			want: []string{"appends to a slice"},
+		},
+		{
+			name: "clean: key collection idiom", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}`,
+		},
+		{
+			name: "clean: filter then sort", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "sort"
+func good(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}`,
+		},
+		{
+			name: "clean: purely local accumulation", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}`,
+		},
+	})
+}
+
+func TestGoroutine(t *testing.T) {
+	const concSrc = `package fix
+import "sync"
+var mu sync.Mutex
+func bad() {
+	go func() {}()
+}`
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches sync import and go statement in internal", analyzer: Goroutine,
+			path: "routeless/internal/fix", filename: "fix.go", src: concSrc,
+			want: []string{`import "sync"`, "go statement"},
+		},
+		{
+			name: "clean: internal/parallel owns concurrency", analyzer: Goroutine,
+			path: "routeless/internal/parallel", filename: "parallel.go", src: concSrc,
+		},
+		{
+			name: "clean: cmd may use goroutines", analyzer: Goroutine,
+			path: "routeless/cmd/fix", filename: "main.go", src: concSrc,
+		},
+	})
+}
+
+func TestFloatEq(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches computed float equality", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func bad(a, b float64) bool { return a == b }`,
+			want: []string{"=="},
+		},
+		{
+			name: "catches defined float types", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+type seconds float64
+func bad(a, b seconds) bool { return a != b }`,
+			want: []string{"!="},
+		},
+		{
+			name: "clean: constant sentinel comparison", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+const infinity = 1e300
+func good(a float64) bool { return a == 0 || a != infinity }`,
+		},
+		{
+			name: "clean: NaN self-test", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(a float64) bool { return a != a }`,
+		},
+		{
+			name: "clean: integers compare exactly", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(a, b int) bool { return a == b }`,
+		},
+		{
+			name: "clean: test files are exempt", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix_test.go",
+			src: `package fix
+func helper(a, b float64) bool { return a == b }`,
+		},
+	})
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "directive on previous line suppresses", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrating suppression
+	return a == b
+}`,
+		},
+		{
+			name: "wildcard directive suppresses any rule", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(a, b float64) bool {
+	//lint:ignore * fixture demonstrating suppression
+	return a == b
+}`,
+		},
+		{
+			name: "directive for another rule does not suppress", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func bad(a, b float64) bool {
+	//lint:ignore wallclock wrong rule
+	return a == b
+}`,
+			want: []string{"=="},
+		},
+		{
+			name: "directive for a nonexistent rule is reported", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func good(a, b int) bool {
+	//lint:ignore notarule stale suppression
+	return a == b
+}`,
+			want: []string{`unknown rule "notarule"`},
+		},
+		{
+			name: "reasonless directive is itself reported", analyzer: FloatEq,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+func bad(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}`,
+			want: []string{"malformed directive", "=="},
+		},
+	})
+}

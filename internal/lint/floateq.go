@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands outside
+// _test.go files. Two computed floats that "should" be equal rarely
+// are; code that branches on exact equality of computed values behaves
+// differently across architectures, compiler versions, and refactors —
+// which breaks bit-for-bit reproducibility promises.
+//
+// Two shapes are exempt because they are exact by construction:
+//
+//   - comparison against a compile-time constant (x == 0,
+//     t != sim.Infinity): sentinel values are assigned, never computed,
+//     so the comparison is a tag check, not a numeric one;
+//   - comparison of an expression with itself (x != x), the standard
+//     NaN test.
+//
+// Genuinely intentional exact comparisons (event-heap tie-breaking on
+// identical stored timestamps) carry //lint:ignore floateq <reason>.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between computed floating-point values outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstExpr(p, be.X) || isConstExpr(p, be.Y) {
+				return true
+			}
+			if sameExpr(p.Fset, be.X, be.Y) {
+				return true // x != x is the NaN idiom
+			}
+			p.Reportf(be.OpPos, "%s between computed floating-point values is representation-dependent; compare with a tolerance or restructure around exact sentinels", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func sameExpr(fset *token.FileSet, a, b ast.Expr) bool {
+	var ba, bb bytes.Buffer
+	if printer.Fprint(&ba, fset, a) != nil || printer.Fprint(&bb, fset, b) != nil {
+		return false
+	}
+	return ba.String() == bb.String()
+}

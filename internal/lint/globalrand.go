@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPackages are the math/rand flavors whose package-level
+// convenience functions draw from a process-global, seed-unstable
+// source.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are the package-level functions that build an
+// explicitly seeded generator; they are the sanctioned doorway (via
+// internal/rng or Kernel.Rand).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// GlobalRand forbids package-level math/rand functions (rand.Float64,
+// rand.Intn, rand.Seed, ...) everywhere in the repository. Draws from
+// the global source depend on process-wide call order — one extra
+// consumer anywhere perturbs every later draw — and rand.Seed mutates
+// shared state. All simulation randomness must flow through
+// internal/rng stream derivation or Kernel.Rand().
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; use internal/rng streams or Kernel.Rand()",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := p.PkgNameOf(sel)
+			if !randPackages[pkgPath] {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || randConstructors[fn.Name()] {
+				return true // types, vars, and seeded constructors are fine
+			}
+			p.Reportf(sel.Pos(), "package-level %s.%s draws from the process-global source; derive a stream with internal/rng or use Kernel.Rand()",
+				pathBase(pkgPath), fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Goroutine forbids `go` statements and sync / sync/atomic imports in
+// every internal/ package except internal/parallel. The DES kernel is
+// sequential by design: causality is the event heap's total order, and
+// determinism depends on it. Concurrency belongs one level up, across
+// independent runs, which is exactly what internal/parallel provides.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel); the kernel is sequential",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	if !p.InInternal() || isParallelPkg(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel may coordinate goroutines)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "go statement: simulation code must stay sequential; parallelize across runs with internal/parallel")
+			}
+			return true
+		})
+	}
+}
+
+func isParallelPkg(path string) bool {
+	return strings.HasSuffix(path, "/internal/parallel") || path == "internal/parallel"
+}

@@ -1,0 +1,256 @@
+// Package lint is a small, stdlib-only static-analysis engine that
+// enforces the simulator's determinism invariants. The paper's results
+// are reproducible only because every run is bit-for-bit deterministic
+// from its seed; these invariants used to live in package comments, and
+// this package makes them mechanically checked.
+//
+// The engine mirrors the shape of golang.org/x/tools/go/analysis
+// without the dependency: an Analyzer inspects one type-checked package
+// unit through a Pass and reports position-accurate Diagnostics. The
+// cmd/simlint driver loads every package under a module root (see
+// load.go) and fails the build on findings.
+//
+// False positives are silenced in source with
+//
+//	//lint:ignore <rule> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory: an unexplained suppression is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects the package unit behind the
+// Pass and reports findings through it.
+type Analyzer struct {
+	Name string      // rule name used in output and //lint:ignore
+	Doc  string      // one-line description of the invariant
+	Run  func(*Pass) // inspection body; must not retain the Pass
+}
+
+// Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Pass hands one type-checked package unit to an analyzer. Type
+// information may be partial when the loader degraded (missing stdlib
+// export data, parse errors in a dependency); analyzers must tolerate
+// nil entries in Info maps.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package // may be nil when type checking failed entirely
+	Info  *types.Info
+	Path  string // import path of the unit, e.g. "routeless/internal/sim"
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the running analyzer's rule
+// name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InInternal reports whether the unit lives under an internal/ tree.
+func (p *Pass) InInternal() bool {
+	return strings.Contains(p.Path, "/internal/") ||
+		strings.HasSuffix(p.Path, "/internal") ||
+		strings.HasPrefix(p.Path, "internal/")
+}
+
+// InCmd reports whether the unit is a command under cmd/.
+func (p *Pass) InCmd() bool {
+	return strings.Contains(p.Path, "/cmd/") || strings.HasPrefix(p.Path, "cmd/")
+}
+
+// InExamples reports whether the unit is example code.
+func (p *Pass) InExamples() bool {
+	return strings.Contains(p.Path, "/examples/") || strings.HasPrefix(p.Path, "examples/")
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgNameOf resolves the selector's receiver to an imported package
+// path, or "" when sel.X is not a plain package qualifier (method
+// calls, field accesses, unresolved identifiers).
+func (p *Pass) PkgNameOf(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	rule   string // "*" matches every rule
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts suppression directives from every file of the
+// unit. Malformed directives (no rule, or no reason) are reported as
+// findings themselves so they cannot silently rot.
+func parseIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Pos:     pos,
+						Rule:    "ignore",
+						Message: "malformed directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				out = append(out, &ignoreDirective{
+					file:   pos.Filename,
+					line:   fset.Position(c.End()).Line,
+					rule:   fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive on its line or
+// the line above, and marks the directive used.
+func suppressed(d Diagnostic, dirs []*ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.rule != d.Rule && dir.rule != "*" {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unit is one loadable package unit ready for analysis.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Path  string
+}
+
+// Run applies every analyzer to the unit and returns surviving
+// diagnostics sorted by position. Suppressed findings are dropped;
+// malformed directives and directives naming unknown rules are
+// reported.
+func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  u.Fset,
+			Files: u.Files,
+			Pkg:   u.Pkg,
+			Info:  u.Info,
+			Path:  u.Path,
+			rule:  a.Name,
+			diags: &raw,
+		}
+		a.Run(pass)
+	}
+
+	var out []Diagnostic
+	dirs := parseIgnores(u.Fset, u.Files, &out)
+	// Directives are validated against the full registry, not the
+	// analyzers selected for this run: a -rules subset must not turn
+	// legitimate suppressions of unselected rules into findings.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, d := range raw {
+		if !suppressed(d, dirs) {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.rule != "*" && !known[dir.rule] {
+			out = append(out, Diagnostic{
+				Pos:     token.Position{Filename: dir.file, Line: dir.line},
+				Rule:    "ignore",
+				Message: fmt.Sprintf("directive suppresses unknown rule %q", dir.rule),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// All returns the full determinism rule set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		GlobalRand,
+		WallClock,
+		MapOrder,
+		Goroutine,
+		FloatEq,
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderRealPackage type-checks a real module package through the
+// loader and verifies type facts arrive, since every analyzer's
+// precision depends on them.
+func TestLoaderRealPackage(t *testing.T) {
+	l := fixtureLoader(t)
+	units, err := l.LoadDir(filepath.Join("..", "rng"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units loaded for internal/rng")
+	}
+	u := units[0]
+	if u.Path != l.ModPath+"/internal/rng" {
+		t.Errorf("unit path = %q", u.Path)
+	}
+	if u.Pkg == nil || len(u.Info.Uses) == 0 {
+		t.Fatal("loader produced no type information")
+	}
+	if ds := Run(u, All()); len(ds) != 0 {
+		t.Errorf("internal/rng should be lint-clean, got %v", ds)
+	}
+}
+
+// TestLoaderModuleImports verifies cross-package imports inside the
+// module resolve to real packages, not placeholders.
+func TestLoaderModuleImports(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg, err := l.Import(l.ModPath + "/internal/sim")
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if pkg.Scope().Lookup("Kernel") == nil {
+		t.Error("internal/sim loaded without its Kernel type")
+	}
+}
+
+// TestRunOrdersDiagnostics checks findings come back sorted by file and
+// position regardless of analyzer order.
+func TestRunOrdersDiagnostics(t *testing.T) {
+	got := analyze(t, FloatEq, "routeless/internal/fix", "fix.go", `package fix
+func f(a, b float64) bool { return a == b }
+func g(a, b float64) bool { return a != b }`)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics: %v", len(got), got)
+	}
+	if got[0].Pos.Line > got[1].Pos.Line {
+		t.Errorf("diagnostics out of order: %v", got)
+	}
+	for _, d := range got {
+		if d.Pos.Line == 0 || d.Pos.Column == 0 {
+			t.Errorf("diagnostic lacks a position: %+v", d)
+		}
+	}
+}
+
+// TestWalkSkipsNonSource ensures the package walker ignores testdata,
+// hidden, and vendor trees so fixtures never break the real run.
+func TestWalkSkipsNonSource(t *testing.T) {
+	dirs, err := Walk("../..")
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("walk found no Go directories")
+	}
+	for _, d := range dirs {
+		base := filepath.Base(d)
+		if base == "testdata" || base == ".git" || base == "vendor" {
+			t.Errorf("walk descended into %s", d)
+		}
+	}
+	found := false
+	for _, d := range dirs {
+		if filepath.Base(d) == "lint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("walk missed internal/lint itself")
+	}
+}
+
+// TestSuppressedSameLine covers the same-line directive placement.
+func TestSuppressedSameLine(t *testing.T) {
+	d := Diagnostic{Pos: token.Position{Filename: "x.go", Line: 7}, Rule: "floateq"}
+	dirs := []*ignoreDirective{{file: "x.go", line: 7, rule: "floateq", reason: "r"}}
+	if !suppressed(d, dirs) {
+		t.Error("same-line directive did not suppress")
+	}
+	if !dirs[0].used {
+		t.Error("directive not marked used")
+	}
+	other := Diagnostic{Pos: token.Position{Filename: "y.go", Line: 7}, Rule: "floateq"}
+	if suppressed(other, dirs) {
+		t.Error("directive leaked across files")
+	}
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module without any
+// dependency on go/packages. Imports within the module are resolved by
+// recursively type-checking the corresponding directory; standard
+// library imports are type-checked from $GOROOT source via the source
+// importer, so the loader works offline and without compiled export
+// data.
+//
+// Type checking is best-effort: a dependency that fails to load
+// resolves to an empty placeholder package and analysis continues with
+// partial type information. Determinism rules are syntax-heavy, so
+// partial info degrades recall, never correctness of what is reported.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute path of the module root directory
+	ModPath string // module path from go.mod, e.g. "routeless"
+
+	stdlib types.Importer
+	cache  map[string]*types.Package // import path → non-test package
+}
+
+// NewLoader builds a loader for the module rooted at modRoot. modPath
+// may be empty, in which case it is read from go.mod.
+func NewLoader(modRoot, modPath string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	if modPath == "" {
+		modPath, err = readModulePath(filepath.Join(abs, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: abs,
+		ModPath: modPath,
+		stdlib:  importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+	}, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else from the standard library. Failures
+// yield an empty placeholder so the caller's type check can proceed.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if dir, ok := l.moduleDir(path); ok {
+		pkg := l.checkDir(path, dir)
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.stdlib.Import(path)
+	if err != nil || pkg == nil {
+		pkg = placeholder(path)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// moduleDir maps a module-internal import path to its directory.
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+func placeholder(path string) *types.Package {
+	pkg := types.NewPackage(path, pathBase(path))
+	pkg.MarkComplete()
+	return pkg
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// checkDir type-checks the non-test files of dir as the package at
+// import path. Errors degrade to a placeholder.
+func (l *Loader) checkDir(path, dir string) *types.Package {
+	files, err := l.parseDir(dir, func(name string) bool {
+		return !strings.HasSuffix(name, "_test.go")
+	})
+	if err != nil || len(files) == 0 {
+		return placeholder(path)
+	}
+	pkg := l.typeCheck(path, files, nil)
+	if pkg == nil {
+		return placeholder(path)
+	}
+	return pkg
+}
+
+// parseDir parses every .go file in dir accepted by keep, sorted by
+// name for deterministic diagnostics.
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if keep != nil && !keep(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			continue // a syntactically broken file is gofmt/go build's problem
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck runs go/types over files with l as the importer, tolerating
+// errors. The returned package is non-nil even when errors occurred;
+// info, when non-nil, receives use/def/type facts.
+func (l *Loader) typeCheck(path string, files []*ast.File, info *types.Info) *types.Package {
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // best-effort: keep going, keep partial info
+	}
+	if info == nil {
+		info = newInfo()
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return pkg
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadDir loads every package unit in one directory: the primary
+// package together with its in-package _test.go files, and, when
+// present, the external _test package. Directories with no Go files
+// yield no units.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.ModRoot)
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+
+	all, err := l.parseDir(abs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+
+	// Split by package clause: primary (+ in-package tests) vs the
+	// external foo_test package.
+	var primary, xtest []*ast.File
+	for _, f := range all {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			primary = append(primary, f)
+		}
+	}
+
+	var units []*Unit
+	if len(primary) > 0 {
+		info := newInfo()
+		pkg := l.typeCheck(path, primary, info)
+		units = append(units, &Unit{Fset: l.Fset, Files: primary, Pkg: pkg, Info: info, Path: path})
+	}
+	if len(xtest) > 0 {
+		info := newInfo()
+		pkg := l.typeCheck(path+"_test", xtest, info)
+		units = append(units, &Unit{Fset: l.Fset, Files: xtest, Pkg: pkg, Info: info, Path: path})
+	}
+	return units, nil
+}
+
+// Walk returns every directory under root (inclusive) that contains Go
+// files, skipping hidden directories, testdata, and vendor trees.
+func Walk(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// effectCalls are method/function names whose invocation inside a map
+// iteration makes iteration order observable: scheduling simulation
+// events, handing packets down the stack, or writing output. The set is
+// deliberately name-based — determinism rules must keep working even
+// with partial type information for dependencies.
+var effectCalls = map[string]bool{
+	// event scheduling
+	"Schedule": true, "At": true, "ScheduleAt": true,
+	// packet / message movement
+	"Send": true, "SendTo": true, "Enqueue": true, "Push": true,
+	"Deliver": true, "Emit": true, "Broadcast": true, "Transmit": true,
+	// output
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true,
+}
+
+// sortCalls are sort/slices package functions that impose a total order
+// on their first argument.
+var sortCalls = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// MapOrder flags `range` over a map whose body schedules events, sends
+// packets, accumulates results, or writes output. Go randomizes map
+// iteration order per run, so any such loop emits events in a different
+// order every execution — the canonical way simulators silently lose
+// determinism. Collect the keys, sort them, and iterate the sorted
+// slice instead.
+//
+// Two shapes of that very fix are recognized and left alone:
+//
+//   - the single-statement key collection
+//     `for k := range m { keys = append(keys, k) }`;
+//   - any body whose only effect is appending to a slice that a later
+//     statement in the same file passes to sort.* or slices.Sort* —
+//     the filter-then-sort idiom.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag effectful iteration over map ranges; sort keys first",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		sorts := collectSorts(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(rs) {
+				return true
+			}
+			eff, found := findEffect(rs)
+			if !found {
+				return true
+			}
+			if eff.appendVar != "" && sortedAfter(sorts, eff.appendVar, rs.End()) {
+				return true // filter-then-sort idiom
+			}
+			p.Reportf(eff.pos, "map iteration order is randomized, but this body %s; collect and sort the keys first", eff.what)
+			return true
+		})
+	}
+}
+
+// isKeyCollection recognizes `for k := range m { keys = append(keys, k) }`
+// (possibly through a conversion of k), the first half of the sort-keys
+// idiom.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg := unwrapConversion(call.Args[1])
+	id, ok := arg.(*ast.Ident)
+	return ok && id.Name == key.Name
+}
+
+// unwrapConversion strips one level of T(x) / f(x) so conversions of
+// the interesting identifier still match.
+func unwrapConversion(e ast.Expr) ast.Expr {
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		return call.Args[0]
+	}
+	return e
+}
+
+// collectSorts records, per variable name, the positions of sort.* /
+// slices.Sort* calls on that variable anywhere in the file.
+func collectSorts(p *Pass, f *ast.File) map[string][]token.Pos {
+	out := map[string][]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortCalls[sel.Sel.Name] {
+			return true
+		}
+		pkg := p.PkgNameOf(sel)
+		if pkg == "" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				pkg = id.Name // partial type info: fall back on the qualifier text
+			}
+		}
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if id, ok := unwrapConversion(call.Args[0]).(*ast.Ident); ok {
+			out[id.Name] = append(out[id.Name], call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func sortedAfter(sorts map[string][]token.Pos, name string, after token.Pos) bool {
+	for _, pos := range sorts[name] {
+		if pos >= after {
+			return true
+		}
+	}
+	return false
+}
+
+// effect describes one order-observable operation in a range body.
+type effect struct {
+	pos       token.Pos
+	what      string
+	appendVar string // set when the only effects are appends to this one variable
+}
+
+// findEffect scans the range body for order-observable operations. When
+// every effect is an append to the same outer variable, appendVar names
+// it so the caller can apply the filter-then-sort exemption.
+func findEffect(rs *ast.RangeStmt) (effect, bool) {
+	// Names declared inside the body: appending to those is purely
+	// local and invisible outside one iteration.
+	local := map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							local[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var (
+		found       effect
+		have        bool
+		onlyAppends = true
+	)
+	record := func(pos token.Pos, what string) {
+		if !have {
+			found, have = effect{pos: pos, what: what}, true
+		}
+		onlyAppends = false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record(n.Pos(), "sends on a channel")
+		case *ast.CallExpr:
+			switch fn := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if effectCalls[fn.Sel.Name] {
+					record(n.Pos(), "calls "+fn.Sel.Name)
+				}
+			case *ast.Ident:
+				if fn.Name == "print" || fn.Name == "println" {
+					record(n.Pos(), "writes output")
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x outlives the loop body.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+					continue
+				}
+				name := ""
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if local[id.Name] {
+							continue
+						}
+						name = id.Name
+					}
+				}
+				if !have {
+					found, have = effect{
+						pos:       n.Pos(),
+						what:      "appends to a slice that outlives the loop",
+						appendVar: name,
+					}, true
+				} else if found.appendVar != name {
+					onlyAppends = false
+				}
+			}
+		}
+		return true
+	})
+	if have && !onlyAppends {
+		found.appendVar = ""
+	}
+	return found, have
+}

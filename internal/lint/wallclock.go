@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the time package entry points that read or wait on
+// the host clock. Formatting helpers (time.Duration arithmetic,
+// time.Unix construction from stored data) are untouched.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock forbids host-clock reads inside internal/ and cmd/
+// (examples and _test.go files are exempt). Simulation time is the
+// kernel's virtual clock; a stray time.Now in an event handler couples
+// results to host scheduling and destroys seed-reproducibility.
+// Commands may measure wall time around — never inside — the event
+// loop, and must annotate such measurements with
+// //lint:ignore wallclock <reason>.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/Since etc. in internal/ and cmd/; simulation time comes from the kernel",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	if !p.InInternal() && !p.InCmd() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.PkgNameOf(sel) != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the host clock; use the kernel's virtual clock (Kernel.Now/Schedule)", sel.Sel.Name)
+			return true
+		})
+	}
+}

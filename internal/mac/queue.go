@@ -72,6 +72,7 @@ func (h *entryHeap) Len() int { return len(h.items) }
 
 func (h *entryHeap) Less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
+	//lint:ignore floateq stored priorities are compared verbatim for tie-breaking, never recomputed
 	if a.priority != b.priority {
 		return a.priority < b.priority
 	}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"routeless/internal/rng"
+)
+
+// These tests exist to be run under the race detector (CI runs
+// `go test -race ./...`): Map is the one concurrency primitive the
+// simulator owns, so it gets hammered from many goroutines at once,
+// with nested sweeps, the way a batch of experiment drivers would use
+// it.
+
+// sweep is a stand-in for one parameter point: a deterministic
+// rng-driven computation heavy enough to interleave workers.
+func sweep(seed int64, i int) float64 {
+	r := rng.ForNode(seed, rng.StreamTraffic, i)
+	sum := 0.0
+	for k := 0; k < 200; k++ {
+		sum += r.Float64()
+	}
+	return sum
+}
+
+func TestMapHammerConcurrentSweeps(t *testing.T) {
+	const (
+		drivers = 8  // concurrent "experiment harnesses"
+		points  = 64 // parameter points per sweep
+		workers = 4  // Map workers per sweep
+	)
+	want := make([]float64, points)
+	for i := range want {
+		want[i] = sweep(1, i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, drivers)
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Map(workers, points, func(i int) float64 { return sweep(1, i) })
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- "concurrent sweep diverged from serial reference"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// Nested use: a sweep whose per-point function itself fans out, as a
+// figure harness running per-seed replications inside per-interval
+// points would.
+func TestMapHammerNested(t *testing.T) {
+	outer := Map(4, 16, func(i int) []float64 {
+		return Map(3, 8, func(j int) float64 { return sweep(int64(i+1), j) })
+	})
+	for i, inner := range outer {
+		for j, v := range inner {
+			if v != sweep(int64(i+1), j) {
+				t.Fatalf("outer %d inner %d diverged", i, j)
+			}
+		}
+	}
+}
+
+// ForEach writing disjoint indices from many goroutines must be clean
+// under -race and leave every slot filled exactly once.
+func TestForEachHammerDisjointWrites(t *testing.T) {
+	const n = 512
+	hits := make([]int, n)
+	ForEach(8, n, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d written %d times", i, h)
+		}
+	}
+}

@@ -197,6 +197,7 @@ type eventHeap []*Event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
+	//lint:ignore floateq stored timestamps are compared verbatim for tie-breaking, never recomputed
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
