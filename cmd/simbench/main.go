@@ -1,0 +1,225 @@
+// Command simbench is the tracked benchmark harness: it runs the same
+// reduced-scale experiment configurations as the repository's
+// bench_test.go, measures kernel throughput (events/sec), wall time,
+// and allocations per figure, and writes the results as JSON
+// (BENCH_2.json at the repository root is the committed snapshot).
+//
+// Usage:
+//
+//	simbench                      # full figure set, report to stdout
+//	simbench -quick               # CI subset (fig1, fig3, abl3)
+//	simbench -out BENCH_2.json    # also write the JSON report
+//	simbench -baseline BENCH_2.json -max-regress 0.20
+//
+// With -baseline, per-figure events/sec is compared against the
+// baseline report and the command exits non-zero if any shared figure
+// regressed by more than -max-regress (CI's performance gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"routeless/internal/experiments"
+	"routeless/internal/sim"
+)
+
+// FigureResult is the measured cost of regenerating one figure.
+type FigureResult struct {
+	Name         string  `json:"name"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+}
+
+// Report is the schema of BENCH_2.json.
+type Report struct {
+	GoVersion         string         `json:"go_version"`
+	GOMAXPROCS        int            `json:"gomaxprocs"`
+	Quick             bool           `json:"quick"`
+	Figures           []FigureResult `json:"figures"`
+	TotalEvents       uint64         `json:"total_events"`
+	TotalWallSeconds  float64        `json:"total_wall_seconds"`
+	TotalEventsPerSec float64        `json:"total_events_per_sec"`
+	// BenchmarkFig1 preserves the hand-recorded `go test -bench`
+	// before/after comparison from the baseline report, so regenerating
+	// the snapshot does not lose the historical record.
+	BenchmarkFig1 json.RawMessage `json:"benchmark_fig1,omitempty"`
+}
+
+// The configurations below mirror bench_test.go exactly; simbench and
+// `go test -bench` must measure the same workloads or the tracked
+// numbers mean nothing.
+
+func fig1Config() experiments.Fig1Config {
+	return experiments.Fig1Config{
+		Nodes: 60, Terrain: 800, Connections: 15,
+		Intervals: []float64{1, 5, 10},
+		Duration:  10, Seeds: []int64{1},
+	}
+}
+
+func fig34Config() experiments.Fig34Config {
+	return experiments.Fig34Config{
+		Nodes: 150, Terrain: 1100, Duration: 20,
+		Pairs: []int{2, 6}, Seeds: []int64{1},
+		FailurePcts: []float64{0, 0.10}, Fig4Pairs: 6,
+	}
+}
+
+type figure struct {
+	name  string
+	quick bool // included in the -quick CI subset
+	run   func()
+}
+
+func figures() []figure {
+	return []figure{
+		{"fig1", true, func() { experiments.RunFig1(fig1Config()) }},
+		{"fig2", false, func() {
+			experiments.RunFig2(experiments.Fig2Config{Seed: 3, Nodes: 300, Terrain: 1500, Duration: 30})
+		}},
+		{"fig3", true, func() { experiments.RunFig3(fig34Config()) }},
+		{"fig4", false, func() { experiments.RunFig4(fig34Config()) }},
+		{"abl1", false, func() {
+			cfg := fig1Config()
+			cfg.Intervals = []float64{2}
+			experiments.RunAbl1(cfg)
+		}},
+		{"abl2", false, func() {
+			experiments.RunAbl2(fig34Config(), []sim.Time{5e-3, 50e-3}, 4)
+		}},
+		{"abl3", true, func() { experiments.RunAbl3([]int{2, 10, 50}, 100, 10e-3, 7) }},
+		{"abl4", false, func() {
+			cfg := fig34Config()
+			cfg.Pairs = []int{4}
+			experiments.RunAbl4(cfg)
+		}},
+		{"abl5", false, func() { experiments.RunAbl5(fig34Config(), []float64{0, 0.3}, 4) }},
+	}
+}
+
+func measure(f figure) FigureResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	experiments.ResetEventCount()
+	//lint:ignore wallclock wall-time of a whole experiment sweep, measured outside the event loop
+	start := time.Now()
+	f.run()
+	//lint:ignore wallclock closes the timing window opened above, after every kernel has drained
+	elapsed := time.Since(start).Seconds()
+	events := experiments.EventCount()
+	runtime.ReadMemStats(&after)
+	return FigureResult{
+		Name:         f.name,
+		Events:       events,
+		WallSeconds:  elapsed,
+		EventsPerSec: float64(events) / elapsed,
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// checkRegression compares events/sec per figure against the baseline.
+// It returns the names of figures that regressed beyond maxRegress
+// (e.g. 0.20 = fail below 80% of baseline throughput).
+func checkRegression(base *Report, cur *Report, maxRegress float64) []string {
+	baseline := make(map[string]FigureResult, len(base.Figures))
+	for _, f := range base.Figures {
+		baseline[f.Name] = f
+	}
+	var failed []string
+	for _, f := range cur.Figures {
+		b, ok := baseline[f.Name]
+		if !ok || b.EventsPerSec <= 0 {
+			continue
+		}
+		ratio := f.EventsPerSec / b.EventsPerSec
+		fmt.Printf("  vs baseline %-5s %6.2fx  (%.0f -> %.0f events/sec)\n",
+			f.Name, ratio, b.EventsPerSec, f.EventsPerSec)
+		if ratio < 1-maxRegress {
+			failed = append(failed, f.Name)
+		}
+	}
+	return failed
+}
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "run the CI subset (fig1, fig3, abl3)")
+		out        = flag.String("out", "", "write the JSON report to this path")
+		baseline   = flag.String("baseline", "", "baseline report to compare events/sec against")
+		maxRegress = flag.Float64("max-regress", 0.20, "fail if events/sec drops by more than this fraction of baseline")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	for _, f := range figures() {
+		if *quick && !f.quick {
+			continue
+		}
+		r := measure(f)
+		fmt.Printf("%-5s %12d events %8.2fs %12.0f events/sec %12d allocs %12d B\n",
+			r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.Allocs, r.AllocBytes)
+		rep.Figures = append(rep.Figures, r)
+		rep.TotalEvents += r.Events
+		rep.TotalWallSeconds += r.WallSeconds
+	}
+	if rep.TotalWallSeconds > 0 {
+		rep.TotalEventsPerSec = float64(rep.TotalEvents) / rep.TotalWallSeconds
+	}
+	fmt.Printf("total %12d events %8.2fs %12.0f events/sec\n",
+		rep.TotalEvents, rep.TotalWallSeconds, rep.TotalEventsPerSec)
+
+	var failed []string
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(2)
+		}
+		rep.BenchmarkFig1 = base.BenchmarkFig1
+		failed = checkRegression(base, &rep, *maxRegress)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "simbench: events/sec regression beyond %.0f%% in: %v\n",
+			*maxRegress*100, failed)
+		os.Exit(1)
+	}
+}

@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 
 	"routeless/internal/lint"
@@ -60,7 +60,7 @@ func main() {
 		for r := range want {
 			unknown = append(unknown, r)
 		}
-		sort.Strings(unknown)
+		slices.Sort(unknown)
 		if len(unknown) > 0 {
 			fmt.Fprintf(os.Stderr, "simlint: unknown rule(s) %s (try -list)\n", strings.Join(unknown, ", "))
 			os.Exit(2)

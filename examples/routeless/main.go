@@ -7,8 +7,9 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"routeless"
 )
@@ -92,7 +93,7 @@ func busiest(load map[routeless.NodeID]int) routeless.NodeID {
 	for id := range load {
 		ids = append(ids, int(id))
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		if load[routeless.NodeID(id)] > bestN {
 			best, bestN = routeless.NodeID(id), load[routeless.NodeID(id)]
@@ -106,11 +107,11 @@ func topRelays(load map[routeless.NodeID]int, k int) []routeless.NodeID {
 	for id := range load {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if load[ids[i]] != load[ids[j]] {
-			return load[ids[i]] > load[ids[j]]
+	slices.SortFunc(ids, func(a, b routeless.NodeID) int {
+		if c := cmp.Compare(load[b], load[a]); c != 0 {
+			return c // heavier relays first
 		}
-		return ids[i] < ids[j]
+		return cmp.Compare(a, b)
 	})
 	if len(ids) > k {
 		ids = ids[:k]

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -168,7 +168,7 @@ func (c *Cluster) TriggerAll(round uint32, ctxs map[packet.NodeID]Context) {
 	for id := range c.electors {
 		ids = append(ids, int(id))
 	}
-	sort.Ints(ids) // deterministic draw order from the shared stream
+	slices.Sort(ids) // deterministic draw order from the shared stream
 	for _, id := range ids {
 		e := c.electors[packet.NodeID(id)]
 		ctx := ctxs[packet.NodeID(id)]

@@ -204,6 +204,7 @@ func RunAbl3(sizes []int, trials int, lambda sim.Time, seed int64) []Abl3Row {
 			cl.AttachArbiter(arb)
 			arb.Trigger()
 			k.Run()
+			countEvents(k)
 			winners := 0
 			for _, e := range electors {
 				if o := e.Current(); o.Won && o.Round == 1 {

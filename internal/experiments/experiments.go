@@ -49,6 +49,7 @@ func meterAll(nw *node.Network, m *stats.Meter) {
 
 // collect converts a finished network + meter into RunMetrics.
 func collect(nw *node.Network, m *stats.Meter) RunMetrics {
+	countEvents(nw.Kernel)
 	return RunMetrics{
 		Delay:      m.Delay.Mean(),
 		Hops:       m.Hops.Mean(),

@@ -186,6 +186,7 @@ func runFig2Scenario(cfg Fig2Config, withCross bool) (*trace.PathCollector, []ge
 		cb.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
+	countEvents(nw.Kernel)
 	return collector, positions, packet.NodeID(a), packet.NodeID(b), packet.NodeID(c), packet.NodeID(d), delivered
 }
 

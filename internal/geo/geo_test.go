@@ -3,7 +3,7 @@ package geo
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -130,7 +130,7 @@ func TestGridWithinRadiusMatchesBrute(t *testing.T) {
 		radius := 50 + r.Float64()*400
 		got := g.WithinRadius(nil, center, radius, -1)
 		want := bruteWithin(pts, center, radius, -1)
-		sort.Ints(got)
+		slices.Sort(got)
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
 		}
@@ -226,7 +226,7 @@ func TestQuickGridEquivalence(t *testing.T) {
 		c := Point{r.Float64() * 500, r.Float64() * 500}
 		got := g.WithinRadius(nil, c, rad, -1)
 		want := bruteWithin(pts, c, rad, -1)
-		sort.Ints(got)
+		slices.Sort(got)
 		if len(got) != len(want) {
 			return false
 		}

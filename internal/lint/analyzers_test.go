@@ -251,6 +251,35 @@ func bad() {
 	})
 }
 
+func TestSortPkg(t *testing.T) {
+	const sortSrc = `package fix
+import "sort"
+func f(xs []int) { sort.Ints(xs) }`
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches sort import in internal", analyzer: SortPkg,
+			path: "routeless/internal/fix", filename: "fix.go", src: sortSrc,
+			want: []string{`import "sort"`},
+		},
+		{
+			name: "catches sort import in cmd", analyzer: SortPkg,
+			path: "routeless/cmd/fix", filename: "main.go", src: sortSrc,
+			want: []string{`import "sort"`},
+		},
+		{
+			name: "clean: test files may use sort", analyzer: SortPkg,
+			path: "routeless/internal/fix", filename: "fix_test.go", src: sortSrc,
+		},
+		{
+			name: "clean: slices is the sanctioned spelling", analyzer: SortPkg,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "slices"
+func f(xs []int) { slices.Sort(xs) }`,
+		},
+	})
+}
+
 func TestFloatEq(t *testing.T) {
 	runFixtures(t, []fixtureCase{
 		{

@@ -19,11 +19,12 @@
 package lint
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -231,15 +232,15 @@ func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	slices.SortFunc(out, func(x, y Diagnostic) int {
+		a, b := x.Pos, y.Pos
+		if c := cmp.Compare(a.Filename, b.Filename); c != 0 {
+			return c
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if c := cmp.Compare(a.Line, b.Line); c != 0 {
+			return c
 		}
-		return a.Column < b.Column
+		return cmp.Compare(a.Column, b.Column)
 	})
 	return out
 }
@@ -252,5 +253,6 @@ func All() []*Analyzer {
 		MapOrder,
 		Goroutine,
 		FloatEq,
+		SortPkg,
 	}
 }

@@ -9,7 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -151,7 +151,7 @@ func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File,
 		}
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -266,6 +266,6 @@ func Walk(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(dirs)
+	slices.Sort(dirs)
 	return dirs, nil
 }

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// SortPkg flags imports of the pre-generics sort package in internal/
+// and cmd/ non-test code. The repository's floor is go 1.22, so every
+// former sort call site has a slices equivalent (slices.Sort,
+// slices.SortFunc, slices.SortStableFunc) that is typed, allocation-
+// free for the comparator, and uses the same pdqsort under the hood.
+// One sorting vocabulary keeps the maporder analyzer's recognition
+// simple and stops the two styles from drifting apart again.
+var SortPkg = &Analyzer{
+	Name: "sortpkg",
+	Doc:  "forbid the pre-generics sort package in internal/ and cmd/; use the slices package (go 1.22 is the floor)",
+	Run:  runSortPkg,
+}
+
+func runSortPkg(p *Pass) {
+	if !p.InInternal() && !p.InCmd() {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sort" {
+				p.Reportf(imp.Pos(), "import %q: use the generic slices package (slices.Sort / slices.SortFunc / slices.SortStableFunc) instead", path)
+			}
+		}
+	}
+}

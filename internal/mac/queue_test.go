@@ -1,7 +1,8 @@
 package mac
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -17,7 +18,7 @@ func TestPrioQueueOrdering(t *testing.T) {
 	for q.len() > 0 {
 		got = append(got, q.pop().priority)
 	}
-	if !sort.Float64sAreSorted(got) {
+	if !slices.IsSorted(got) {
 		t.Fatalf("pop order %v not ascending", got)
 	}
 }
@@ -111,11 +112,11 @@ func TestQuickPrioQueueSemantics(t *testing.T) {
 			live = append(live, rec{p, prio, seq})
 			seq++
 		}
-		sort.SliceStable(live, func(i, j int) bool {
-			if live[i].prio != live[j].prio {
-				return live[i].prio < live[j].prio
+		slices.SortStableFunc(live, func(a, b rec) int {
+			if c := cmp.Compare(a.prio, b.prio); c != 0 {
+				return c
 			}
-			return live[i].seq < live[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 		for _, want := range live {
 			e := q.pop()

@@ -13,6 +13,11 @@ import (
 // goroutines (0 means GOMAXPROCS) and returns the results in index
 // order. fn must be safe to call concurrently for different indices —
 // simulations satisfy this because each builds its own kernel.
+//
+// If fn panics in a worker, the remaining indices still run, and Map
+// re-raises the first panic on the caller's goroutine after all workers
+// finish — the caller sees an ordinary panic it can recover from,
+// instead of the process dying on a worker stack.
 func Map[T any](workers, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -30,22 +35,41 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	// The work channel is filled and closed before any worker starts:
+	// workers only drain it, so there is no producer goroutine to
+	// coordinate and no send that could block forever if workers die.
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failure any // first recovered worker panic, re-raised below
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if failure == nil {
+						failure = r
+					}
+					mu.Unlock()
+				}
+			}()
 			for i := range next {
 				out[i] = fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
 	return out
 }
 

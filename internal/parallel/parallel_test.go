@@ -62,6 +62,46 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("re-raised panic = %v, want \"boom\"", r)
+		}
+	}()
+	Map(4, 100, func(i int) int {
+		if i == 37 {
+			panic("boom")
+		}
+		return i
+	})
+	t.Fatal("Map returned normally despite worker panic")
+}
+
+func TestMapPanicDoesNotAbandonWork(t *testing.T) {
+	// One worker dies on its first item; the others must still drain
+	// the pre-filled queue rather than deadlock or drop indices.
+	var ran [64]int32
+	func() {
+		defer func() { _ = recover() }()
+		Map(4, 64, func(i int) int {
+			if i == 0 {
+				panic("first item")
+			}
+			atomic.AddInt32(&ran[i], 1)
+			return i
+		})
+	}()
+	for i := 1; i < 64; i++ {
+		if atomic.LoadInt32(&ran[i]) != 1 {
+			t.Fatalf("index %d ran %d times after a worker panic", i, ran[i])
+		}
+	}
+}
+
 // Property: parallel result equals serial result for any worker count.
 func TestQuickParallelEqualsSerial(t *testing.T) {
 	f := func(workers uint8, n uint8) bool {

@@ -2,7 +2,7 @@ package phy
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"routeless/internal/geo"
 	"routeless/internal/packet"
@@ -10,14 +10,34 @@ import (
 	"routeless/internal/sim"
 )
 
+// link is one precomputed edge of the broadcast topology: a receiver
+// within the interference cutoff of a transmitter, with the geometry
+// and deterministic propagation math a transmission needs, computed
+// once instead of per frame.
+type link struct {
+	idx     int32    // receiver node id
+	dist    float64  // transmitter→receiver distance, meters
+	meanDBm float64  // deterministic (unfaded) receive power
+	meanMW  float64  // meanDBm in milliwatts, for the no-fading fast path
+	delay   sim.Time // propagation delay over dist
+}
+
 // Channel is the shared broadcast medium. It knows every radio's
 // position, computes per-receiver power through a propagation model and
 // an optional fader, and schedules signal start/end events with the
 // true propagation delay.
+//
+// The hot path — transmit — runs off a per-node link cache: the
+// id-sorted receivers within the cutoff, with distance, mean power, and
+// propagation delay precomputed. Caches build lazily on a node's first
+// transmission and are invalidated per node by MoveTo and SetTxPower,
+// so static topologies (the paper's scenarios) pay the grid query,
+// sort, and log/pow propagation math exactly once per transmitter.
 type Channel struct {
 	kernel *sim.Kernel
 	model  propagation.Model
 	fader  propagation.Fader
+	noFade bool       // fader is propagation.NoFade: skip draws and reuse meanMW
 	frng   *rand.Rand // fading draws
 	grid   *geo.Grid
 	radios []*Radio
@@ -28,6 +48,25 @@ type Channel struct {
 
 	uid   uint64
 	stats ChannelStats
+
+	// links[i] caches node i's outgoing edges; linkValid[i] marks the
+	// entry current. noCache forces a rebuild on every transmission —
+	// the recompute-every-time reference the coherence tests compare
+	// against.
+	links     [][]link
+	linkValid []bool
+	noCache   bool
+
+	// ranges memoizes the RangeFor bisection per radio parameter set
+	// (experiments call DecodeRange/NeighborCount per node on topologies
+	// where all radios share one parameter set).
+	ranges *propagation.RangeCache
+
+	// Free lists for the per-delivery objects. The simulation is
+	// single-threaded (one kernel), so plain slices suffice and stay
+	// deterministic.
+	sigFree []*signal
+	delFree []*delivery
 
 	scratch []int
 }
@@ -47,6 +86,11 @@ type ChannelConfig struct {
 	FadeMarginDB float64
 	// Rng drives fading; may be nil when Fader is nil/NoFade.
 	Rng *rand.Rand
+	// NoLinkCache disables the per-node link cache: every transmission
+	// re-queries the spatial grid and recomputes propagation math. This
+	// is the slow reference path; it exists so tests can prove the
+	// cached channel is bit-for-bit equivalent to it.
+	NoLinkCache bool
 }
 
 // NewChannel builds a medium over the given node positions inside rect.
@@ -61,8 +105,9 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 	if fader == nil {
 		fader = propagation.NoFade{}
 	}
+	_, noFade := fader.(propagation.NoFade)
 	cs := params.CSThreshDBm
-	if _, noFade := fader.(propagation.NoFade); !noFade {
+	if !noFade {
 		cs -= cfg.FadeMarginDB
 	}
 	cutoff := propagation.RangeFor(model, params.TxPowerDBm, cs, 1,
@@ -75,16 +120,21 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		cell = rect.Width()/4 + 1
 	}
 	ch := &Channel{
-		kernel: k,
-		model:  model,
-		fader:  fader,
-		frng:   cfg.Rng,
-		grid:   geo.NewGrid(rect, cell, positions),
-		cutoff: cutoff,
+		kernel:    k,
+		model:     model,
+		fader:     fader,
+		noFade:    noFade,
+		frng:      cfg.Rng,
+		grid:      geo.NewGrid(rect, cell, positions),
+		cutoff:    cutoff,
+		links:     make([][]link, len(positions)),
+		linkValid: make([]bool, len(positions)),
+		noCache:   cfg.NoLinkCache,
+		ranges:    propagation.NewRangeCache(model),
 	}
 	ch.radios = make([]*Radio, len(positions))
 	for i := range positions {
-		ch.radios[i] = &Radio{
+		r := &Radio{
 			id:      packet.NodeID(i),
 			params:  params,
 			kernel:  k,
@@ -92,6 +142,8 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 			state:   StateIdle,
 			energy:  NewEnergy(DefaultPower()),
 		}
+		r.initThresholds()
+		ch.radios[i] = r
 	}
 	return ch
 }
@@ -108,7 +160,34 @@ func (c *Channel) Position(i int) geo.Point { return c.grid.At(i) }
 // MoveTo relocates node i — the mobility extension. Transmissions
 // already in flight are unaffected (their powers were computed at
 // transmit time); subsequent transmissions use the new position.
-func (c *Channel) MoveTo(i int, p geo.Point) { c.grid.MoveTo(i, p) }
+//
+// Cache invalidation contract: moving node i invalidates (a) i's own
+// link cache and (b) the cache of every node within the cutoff of i's
+// old or new position — exactly the transmitters whose receiver set or
+// link math could mention i. Valid caches always describe current
+// positions because any node that moved had its own cache invalidated
+// by its own MoveTo.
+func (c *Channel) MoveTo(i int, p geo.Point) {
+	if c.noCache {
+		c.grid.MoveTo(i, p)
+		return
+	}
+	c.scratch = c.grid.WithinRadius(c.scratch[:0], c.grid.At(i), c.cutoff, i)
+	for _, id := range c.scratch {
+		c.linkValid[id] = false
+	}
+	c.grid.MoveTo(i, p)
+	c.scratch = c.grid.WithinRadius(c.scratch[:0], p, c.cutoff, i)
+	for _, id := range c.scratch {
+		c.linkValid[id] = false
+	}
+	c.linkValid[i] = false
+}
+
+// invalidateLinks drops node i's cached outgoing links; called by the
+// radio when its transmit power changes (receiver set is distance-based
+// and unaffected, but every cached mean power becomes stale).
+func (c *Channel) invalidateLinks(i int) { c.linkValid[i] = false }
 
 // Model returns the propagation model in use.
 func (c *Channel) Model() propagation.Model { return c.model }
@@ -126,6 +205,33 @@ func (c *Channel) MeanPowerAt(from, to int) float64 {
 	return c.model.ReceivedPower(c.radios[from].params.TxPowerDBm, d)
 }
 
+// buildLinks computes node src's outgoing edges: receivers within the
+// cutoff in ascending id order (so fading draws stay reproducible),
+// with the same distance and power expressions transmit used before the
+// cache existed — the cache must be bit-for-bit equivalent, not merely
+// approximately right.
+func (c *Channel) buildLinks(src int) []link {
+	pos := c.grid.At(src)
+	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, src)
+	slices.Sort(c.scratch)
+	ls := c.links[src][:0]
+	tx := c.radios[src].params.TxPowerDBm
+	for _, idx := range c.scratch {
+		d := pos.Dist(c.grid.At(idx))
+		p := c.model.ReceivedPower(tx, d)
+		ls = append(ls, link{
+			idx:     int32(idx),
+			dist:    d,
+			meanDBm: p,
+			meanMW:  propagation.DBmToMilliwatt(p),
+			delay:   sim.Time(propagation.Delay(d)),
+		})
+	}
+	c.links[src] = ls
+	c.linkValid[src] = true
+	return ls
+}
+
 // transmit fans a frame out to every radio within the cutoff range.
 // Receivers are visited in id order so fading draws are reproducible.
 func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
@@ -137,28 +243,102 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 		pkt.UID = c.uid
 	}
 	srcIdx := int(src.id)
-	pos := c.grid.At(srcIdx)
-	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, srcIdx)
-	sort.Ints(c.scratch)
+	ls := c.links[srcIdx]
+	if c.noCache || !c.linkValid[srcIdx] {
+		ls = c.buildLinks(srcIdx)
+	}
 	now := c.kernel.Now()
-	for _, idx := range c.scratch {
-		rcv := c.radios[idx]
-		d := pos.Dist(c.grid.At(idx))
-		p := c.model.ReceivedPower(src.params.TxPowerDBm, d)
-		p = c.fader.Fade(c.frng, p)
-		if p < rcv.params.CSThreshDBm {
+	for i := range ls {
+		l := &ls[i]
+		rcv := c.radios[l.idx]
+		var pDBm, pMW float64
+		if c.noFade {
+			pDBm, pMW = l.meanDBm, l.meanMW
+		} else {
+			pDBm = c.fader.Fade(c.frng, l.meanDBm)
+			pMW = propagation.DBmToMilliwatt(pDBm)
+		}
+		if pDBm < rcv.params.CSThreshDBm {
 			continue // too weak to sense or corrupt: not scheduled
 		}
-		s := &signal{
-			pkt:      pkt.Clone(),
-			powerDBm: p,
-			powerMW:  propagation.DBmToMilliwatt(p),
-		}
-		delay := sim.Time(propagation.Delay(d))
-		s.end = now + delay + dur
+		s := c.newSignal(pkt.Clone(), pDBm, pMW)
+		s.end = now + l.delay + dur
 		c.stats.Deliveries++
-		c.kernel.At(now+delay, func() { rcv.signalStart(s) })
-		c.kernel.At(s.end, func() { rcv.signalEnd(s) })
+		c.scheduleDelivery(rcv, s, now+l.delay)
+	}
+}
+
+// newSignal takes a signal struct from the free list (or allocates) and
+// initializes it for one delivery.
+func (c *Channel) newSignal(pkt *packet.Packet, dbm, mw float64) *signal {
+	var s *signal
+	if n := len(c.sigFree); n > 0 {
+		s = c.sigFree[n-1]
+		c.sigFree = c.sigFree[:n-1]
+	} else {
+		s = &signal{}
+	}
+	*s = signal{pkt: pkt, powerDBm: dbm, powerMW: mw}
+	return s
+}
+
+// releaseSignal returns a signal to the free list once its end event
+// has fired; by then no radio holds a reference (signalEnd removed it
+// from the receiver's in-air set, or powerDown already dropped it).
+func (c *Channel) releaseSignal(s *signal) {
+	s.pkt = nil
+	if len(c.sigFree) < maxFreeObjects {
+		c.sigFree = append(c.sigFree, s)
+	}
+}
+
+// maxFreeObjects bounds the per-channel signal and delivery free lists;
+// anything beyond the cap is left for the garbage collector.
+const maxFreeObjects = 1 << 14
+
+// delivery carries one frame to one receiver. It is a pooled object
+// scheduled twice on the kernel with a single pre-bound callback: the
+// first firing is the frame's leading edge (signalStart) and reschedules
+// itself for the trailing edge (signalEnd) — replacing the two closures
+// the channel used to allocate per delivery.
+type delivery struct {
+	ch      *Channel
+	rcv     *Radio
+	sig     *signal
+	started bool
+	fn      func() // d.fire bound once at allocation, reused across recycles
+}
+
+// scheduleDelivery arms a pooled delivery for s at the receiver,
+// starting (leading edge) at start.
+func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
+	var d *delivery
+	if n := len(c.delFree); n > 0 {
+		d = c.delFree[n-1]
+		c.delFree = c.delFree[:n-1]
+	} else {
+		d = &delivery{ch: c}
+		d.fn = d.fire
+	}
+	d.rcv, d.sig, d.started = rcv, s, false
+	c.kernel.At(start, d.fn)
+}
+
+// fire is the delivery's only callback. First firing: leading edge —
+// queue the trailing edge, then hand the signal to the receiver. Second
+// firing: trailing edge — finish reception and recycle.
+func (d *delivery) fire() {
+	if !d.started {
+		d.started = true
+		d.ch.kernel.At(d.sig.end, d.fn)
+		d.rcv.signalStart(d.sig)
+		return
+	}
+	d.rcv.signalEnd(d.sig)
+	d.ch.releaseSignal(d.sig)
+	d.rcv, d.sig = nil, nil
+	if len(d.ch.delFree) < maxFreeObjects {
+		d.ch.delFree = append(d.ch.delFree, d)
 	}
 }
 
@@ -166,17 +346,18 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 // node i (deterministic power model, no fading) — a topology metric
 // used by experiments and tests.
 func (c *Channel) NeighborCount(i int) int {
-	r := c.radios[i]
-	rangeM := propagation.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+	rangeM := c.DecodeRange(i)
 	ids := c.grid.WithinRadius(nil, c.grid.At(i), rangeM, i)
 	return len(ids)
 }
 
 // DecodeRange returns the deterministic decode range of node i's
-// transmitter against its own receive threshold.
+// transmitter against its own receive threshold. The underlying
+// bisection is memoized per parameter set — experiments call this for
+// every node of fields where all radios share one configuration.
 func (c *Channel) DecodeRange(i int) float64 {
 	r := c.radios[i]
-	return propagation.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+	return c.ranges.RangeFor(r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
 }
 
 // Connected reports whether the deterministic unit-disk graph induced

@@ -117,6 +117,14 @@ type Radio struct {
 	channel  *Channel
 	listener Listener
 
+	// Linear-domain images of the dB thresholds, converted once at
+	// construction (see initThresholds) so the per-signal hot paths —
+	// carrier sensing and SINR — compare milliwatts directly instead of
+	// calling log10/pow on every event.
+	noiseMW      float64 // params.NoiseFloorDBm in mW
+	csThreshMW   float64 // params.CSThreshDBm in mW
+	captureRatio float64 // params.CaptureDB as a linear power ratio
+
 	state     State
 	inAir     []*signal
 	rx        *signal
@@ -125,6 +133,16 @@ type Radio struct {
 
 	energy *Energy
 	stats  Stats
+}
+
+// initThresholds caches the linear-domain thresholds. Called at
+// construction; the cached fields depend only on receive-side
+// parameters, which never change after construction (SetTxPower touches
+// the transmit side only).
+func (r *Radio) initThresholds() {
+	r.noiseMW = propagation.DBmToMilliwatt(r.params.NoiseFloorDBm)
+	r.csThreshMW = propagation.DBmToMilliwatt(r.params.CSThreshDBm)
+	r.captureRatio = propagation.DBmToMilliwatt(r.params.CaptureDB)
 }
 
 // ID returns the radio's node id.
@@ -149,19 +167,24 @@ func (r *Radio) SetListener(l Listener) { r.listener = l }
 // create the unidirectional links whose effect on Routeless Routing §4
 // discusses ("may negatively affect the efficiency, but not the
 // correctness").
-func (r *Radio) SetTxPower(dbm float64) { r.params.TxPowerDBm = dbm }
+func (r *Radio) SetTxPower(dbm float64) {
+	r.params.TxPowerDBm = dbm
+	r.channel.invalidateLinks(int(r.id))
+}
 
 // On reports whether the radio can currently send or receive.
 func (r *Radio) On() bool { return r.state != StateOff && r.state != StateSleep }
 
 // CarrierBusy reports whether the medium is sensed busy: the radio is
 // transmitting, locked on a frame, or total in-air power exceeds the
-// carrier-sense threshold.
+// carrier-sense threshold. The comparison runs in the linear domain
+// (milliwatts), which is equivalent to the dB comparison because log10
+// is strictly increasing.
 func (r *Radio) CarrierBusy() bool {
 	if r.state == StateTx || r.state == StateRx {
 		return true
 	}
-	return propagation.MilliwattToDBm(r.inAirMW()) >= r.params.CSThreshDBm
+	return r.inAirMW() >= r.csThreshMW
 }
 
 func (r *Radio) inAirMW() float64 {
@@ -175,7 +198,7 @@ func (r *Radio) inAirMW() float64 {
 // interferenceMW returns noise plus in-air power, excluding the frame
 // under consideration.
 func (r *Radio) interferenceMW(frame *signal) float64 {
-	sum := propagation.DBmToMilliwatt(r.params.NoiseFloorDBm)
+	sum := r.noiseMW
 	for _, s := range r.inAir {
 		if s != frame {
 			sum += s.powerMW
@@ -184,13 +207,15 @@ func (r *Radio) interferenceMW(frame *signal) float64 {
 	return sum
 }
 
+// sinrOK checks the capture condition in the linear domain:
+// signal/interference >= capture ratio, the monotone image of
+// signalDB - interferenceDB >= CaptureDB.
 func (r *Radio) sinrOK(frame *signal) bool {
 	interf := r.interferenceMW(frame)
 	if interf <= 0 {
 		return true
 	}
-	sinrDB := frame.powerDBm - propagation.MilliwattToDBm(interf)
-	return sinrDB >= r.params.CaptureDB
+	return frame.powerMW >= interf*r.captureRatio
 }
 
 // Transmit puts a frame on the air. The caller (MAC) is responsible for

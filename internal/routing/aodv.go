@@ -1,7 +1,7 @@
 package routing
 
 import (
-	"sort"
+	"slices"
 
 	"routeless/internal/node"
 	"routeless/internal/packet"
@@ -302,7 +302,7 @@ func (a *AODV) checkNeighbors() {
 			dead = append(dead, id)
 		}
 	}
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	slices.Sort(dead)
 	for _, id := range dead {
 		delete(a.neighbors, id)
 		a.stats.LinkBreaks++
@@ -332,7 +332,7 @@ func (a *AODV) invalidateVia(hop packet.NodeID) {
 	if len(lost) == 0 {
 		return
 	}
-	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	slices.Sort(lost)
 	a.stats.RERRSent++
 	a.n.MAC.Enqueue(&packet.Packet{
 		Kind: packet.KindRERR, To: packet.Broadcast,

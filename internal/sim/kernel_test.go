@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -200,13 +200,16 @@ func TestQuickHeapOrdering(t *testing.T) {
 		if len(fired) != len(delays) {
 			return false
 		}
-		ok := sort.SliceIsSorted(fired, func(a, b int) bool {
-			if fired[a].at != fired[b].at {
-				return fired[a].at < fired[b].at
+		ok := slices.IsSortedFunc(fired, func(a, b firing) int {
+			if a.at != b.at {
+				if a.at < b.at {
+					return -1
+				}
+				return 1
 			}
-			return fired[a].seq < fired[b].seq
+			return a.seq - b.seq
 		})
-		// SliceIsSorted with strict less: verify manually instead.
+		// IsSortedFunc with strict less: verify manually instead.
 		for i := 1; i < len(fired); i++ {
 			if fired[i].at < fired[i-1].at {
 				return false
@@ -292,5 +295,75 @@ func TestTimeHelpers(t *testing.T) {
 	}
 	if tm.Seconds() != 0.5 {
 		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+}
+
+// TestHeapStress drives the 4-ary heap through a large randomized
+// schedule/cancel workload and checks the fired sequence against an
+// independently sorted reference.
+func TestHeapStress(t *testing.T) {
+	k := NewKernel(1)
+	r := rand.New(rand.NewSource(13))
+	const n = 20000
+	type ref struct {
+		at  Time
+		seq int
+	}
+	var want []ref
+	var got []ref
+	evs := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(r.Intn(500)) / 8 // many ties, deep heap
+		e := k.At(at, func() { got = append(got, ref{k.Now(), i}) })
+		evs = append(evs, e)
+		want = append(want, ref{at, i})
+	}
+	// Cancel a third of them, scattered.
+	cancelled := make(map[int]bool)
+	for i := 0; i < n; i += 3 {
+		k.Cancel(evs[i])
+		cancelled[i] = true
+	}
+	want = slices.DeleteFunc(want, func(x ref) bool { return cancelled[x.seq] })
+	slices.SortStableFunc(want, func(a, b ref) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		return 0 // stable sort keeps insertion (seq) order for ties
+	})
+	k.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFreeListGrowsWithQueueDepth verifies the adaptive recycling
+// strategy: after a deep queue drains, re-scheduling at the same depth
+// should not allocate new Event structs.
+func TestFreeListGrowsWithQueueDepth(t *testing.T) {
+	k := NewKernel(1)
+	const depth = 5000
+	for i := 0; i < depth; i++ {
+		k.Schedule(Time(i), func() {})
+	}
+	k.Run()
+	if len(k.free) < 1024 {
+		t.Fatalf("free list holds %d events after draining %d; recycling is not keeping up", len(k.free), depth)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		e := k.Schedule(1, func() {})
+		k.Cancel(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel cycle allocates %.1f objects; free list not reused", allocs)
 	}
 }

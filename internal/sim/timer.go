@@ -10,6 +10,7 @@ package sim
 type Timer struct {
 	kernel *Kernel
 	fn     func()
+	fireFn func() // t.fire bound once; rebinding per Reset would allocate
 	ev     *Event
 	fires  uint64
 }
@@ -19,20 +20,22 @@ func NewTimer(k *Kernel, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer callback")
 	}
-	return &Timer{kernel: k, fn: fn}
+	t := &Timer{kernel: k, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)schedules the timer to fire after delay, cancelling any
 // pending expiry.
 func (t *Timer) Reset(delay Time) {
 	t.Stop()
-	t.ev = t.kernel.Schedule(delay, t.fire)
+	t.ev = t.kernel.Schedule(delay, t.fireFn)
 }
 
 // ResetAt (re)schedules the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.kernel.At(at, t.fire)
+	t.ev = t.kernel.At(at, t.fireFn)
 }
 
 func (t *Timer) fire() {

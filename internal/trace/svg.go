@@ -2,7 +2,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"routeless/internal/geo"
@@ -96,7 +96,7 @@ func RenderSVG(rect geo.Rect, positions []geo.Point, c *PathCollector,
 		for id := range used {
 			ids = append(ids, int(id))
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		pts := make([]geo.Point, 0, len(ids))
 		for _, id := range ids {
 			pts = append(pts, positions[id])
@@ -107,7 +107,7 @@ func RenderSVG(rect geo.Rect, positions []geo.Point, c *PathCollector,
 	for id := range labels {
 		ids = append(ids, int(id))
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		s.Label(positions[id], labels[packet.NodeID(id)], "black", 18)
 	}

@@ -5,8 +5,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"routeless/internal/geo"
@@ -47,7 +48,7 @@ func (c *PathCollector) Record(node packet.NodeID, pkt *packet.Packet, at sim.Ti
 // order.
 func (c *PathCollector) Path(key packet.FlowKey) []Hop {
 	hops := append([]Hop(nil), c.paths[key]...)
-	sort.SliceStable(hops, func(i, j int) bool { return hops[i].At < hops[j].At })
+	slices.SortStableFunc(hops, func(a, b Hop) int { return cmp.Compare(a.At, b.At) })
 	return hops
 }
 
@@ -58,15 +59,14 @@ func (c *PathCollector) Keys() []packet.FlowKey {
 	for k := range c.paths {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Origin != b.Origin {
-			return a.Origin < b.Origin
+	slices.SortFunc(keys, func(a, b packet.FlowKey) int {
+		if c := cmp.Compare(a.Origin, b.Origin); c != 0 {
+			return c
 		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
+		if c := cmp.Compare(a.Kind, b.Kind); c != 0 {
+			return c
 		}
-		return a.Seq < b.Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 	return keys
 }
@@ -166,11 +166,11 @@ func FlowSummary(used map[packet.NodeID]int) string {
 	for id, n := range used {
 		list = append(list, nc{id, n})
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
+	slices.SortFunc(list, func(a, b nc) int {
+		if c := cmp.Compare(b.n, a.n); c != 0 {
+			return c // busiest first
 		}
-		return list[i].id < list[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	parts := make([]string, len(list))
 	for i, x := range list {
