@@ -10,10 +10,18 @@
 //	simbench -quick               # CI subset (fig1, fig3, abl3)
 //	simbench -out BENCH_2.json    # also write the JSON report
 //	simbench -baseline BENCH_2.json -max-regress 0.20
+//	simbench -journal runs.jsonl  # append a JSONL run journal
+//	simbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
 //
 // With -baseline, per-figure events/sec is compared against the
 // baseline report and the command exits non-zero if any shared figure
 // regressed by more than -max-regress (CI's performance gate).
+//
+// With -journal, the fig1/fig3/fig4 sweeps write one record per run
+// (config, seed, final metric snapshot) and every measured figure adds
+// a summary record stamped with git revision, Go version, and wall
+// time. The profiling flags feed `go tool pprof` / `go tool trace` to
+// localize hot-path regressions the gate catches.
 package main
 
 import (
@@ -21,10 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strings"
 	"time"
 
 	"routeless/internal/experiments"
+	"routeless/internal/metrics"
 	"routeless/internal/sim"
 )
 
@@ -79,14 +92,20 @@ type figure struct {
 	run   func()
 }
 
-func figures() []figure {
+// figures returns the tracked workloads. The journal (nil when off) is
+// threaded only into the figure sweeps that emit per-run records; the
+// ablation reruns keep journal-less configs so their measured cost
+// matches bench_test.go exactly.
+func figures(j *metrics.Journal) []figure {
+	fig1J := func() experiments.Fig1Config { c := fig1Config(); c.Journal = j; return c }
+	fig34J := func() experiments.Fig34Config { c := fig34Config(); c.Journal = j; return c }
 	return []figure{
-		{"fig1", true, func() { experiments.RunFig1(fig1Config()) }},
+		{"fig1", true, func() { experiments.RunFig1(fig1J()) }},
 		{"fig2", false, func() {
 			experiments.RunFig2(experiments.Fig2Config{Seed: 3, Nodes: 300, Terrain: 1500, Duration: 30})
 		}},
-		{"fig3", true, func() { experiments.RunFig3(fig34Config()) }},
-		{"fig4", false, func() { experiments.RunFig4(fig34Config()) }},
+		{"fig3", true, func() { experiments.RunFig3(fig34J()) }},
+		{"fig4", false, func() { experiments.RunFig4(fig34J()) }},
 		{"abl1", false, func() {
 			cfg := fig1Config()
 			cfg.Intervals = []float64{2}
@@ -163,21 +182,95 @@ func checkRegression(base *Report, cur *Report, maxRegress float64) []string {
 	return failed
 }
 
+// gitRev stamps journal records with the checkout's short commit hash;
+// it returns "" outside a git checkout (the field is then omitted).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code instead of os.Exit, so the profile and
+// journal defers actually flush on every path.
+func run() int {
 	var (
 		quick      = flag.Bool("quick", false, "run the CI subset (fig1, fig3, abl3)")
 		out        = flag.String("out", "", "write the JSON report to this path")
 		baseline   = flag.String("baseline", "", "baseline report to compare events/sec against")
 		maxRegress = flag.Float64("max-regress", 0.20, "fail if events/sec drops by more than this fraction of baseline")
+		journalF   = flag.String("journal", "", "append a JSONL run journal to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceF     = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+			}
+		}()
+	}
+
+	var journal *metrics.Journal
+	rev := ""
+	if *journalF != "" {
+		f, err := os.OpenFile(*journalF, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		defer f.Close()
+		journal = metrics.NewJournal(f)
+		rev = gitRev()
+	}
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 	}
-	for _, f := range figures() {
+	for _, f := range figures(journal) {
 		if *quick && !f.quick {
 			continue
 		}
@@ -187,6 +280,17 @@ func main() {
 		rep.Figures = append(rep.Figures, r)
 		rep.TotalEvents += r.Events
 		rep.TotalWallSeconds += r.WallSeconds
+		if journal != nil {
+			// Environment stamps ride on the summary record; the
+			// deterministic per-run records came from the Run funcs.
+			_ = journal.Write(metrics.Record{
+				Experiment:  f.name,
+				Label:       "bench-summary",
+				GitRev:      rev,
+				GoVersion:   runtime.Version(),
+				WallSeconds: r.WallSeconds,
+			})
+		}
 	}
 	if rep.TotalWallSeconds > 0 {
 		rep.TotalEventsPerSec = float64(rep.TotalEvents) / rep.TotalWallSeconds
@@ -199,7 +303,7 @@ func main() {
 		base, err := loadReport(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		rep.BenchmarkFig1 = base.BenchmarkFig1
 		failed = checkRegression(base, &rep, *maxRegress)
@@ -209,17 +313,24 @@ func main() {
 		data, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: journal:", err)
+			return 1
+		}
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "simbench: events/sec regression beyond %.0f%% in: %v\n",
 			*maxRegress*100, failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -17,20 +17,41 @@
 //	-scale small   reduced scale with the same density (default)
 //
 // Other flags: -seeds N (replications), -duration S, -workers N,
-// -csv (machine-readable output), -width (fig2 map width).
+// -csv (machine-readable output), -width (fig2 map width), -journal F
+// (append a JSONL run journal: per-run metric snapshots for the
+// journaled figures plus one summary record per experiment with the
+// table CSV, git revision, and wall time).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"time"
 
 	"routeless/internal/experiments"
+	"routeless/internal/metrics"
 	"routeless/internal/stats"
 )
 
+// gitRev stamps journal records with the checkout's short commit hash;
+// it returns "" outside a git checkout (the field is then omitted).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|all")
 		scale    = flag.String("scale", "small", "full (paper scale) or small (same density, faster)")
@@ -39,8 +60,20 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		width    = flag.Int("width", 76, "figure 2 map width in characters")
+		journalF = flag.String("journal", "", "append a JSONL run journal to this file")
 	)
 	flag.Parse()
+
+	var journal *metrics.Journal
+	if *journalF != "" {
+		f, err := os.OpenFile(*journalF, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wmansim:", err)
+			return 2
+		}
+		defer f.Close()
+		journal = metrics.NewJournal(f)
+	}
 
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
@@ -50,11 +83,11 @@ func main() {
 	full := *scale == "full"
 	if !full && *scale != "small" {
 		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
-	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration}
-	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration}
+	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
+	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
 	fig2 := experiments.Fig2Config{Seed: seedList[0]}
 	if !full {
 		// Same node density as the paper, quarter the area.
@@ -79,49 +112,82 @@ func main() {
 		}
 	}
 
-	run := func(name string) {
+	rev := ""
+	if journal != nil {
+		rev = gitRev()
+	}
+
+	runExp := func(name string) bool {
 		//lint:ignore wallclock wall-time of a whole experiment, measured outside the event loop
 		start := time.Now()
+		var tbl *stats.Table
 		switch name {
 		case "fig1":
-			show(experiments.Fig1Table(experiments.RunFig1(fig1)))
+			tbl = experiments.Fig1Table(experiments.RunFig1(fig1))
 		case "fig2":
 			res := experiments.RunFig2(fig2)
-			show(experiments.Fig2Table(res))
+			tbl = experiments.Fig2Table(res)
+			show(tbl)
 			if !*csv {
 				fmt.Println(experiments.Fig2Render(res, *width))
 			}
 		case "fig3":
-			show(experiments.Fig3Table(experiments.RunFig3(fig34)))
+			tbl = experiments.Fig3Table(experiments.RunFig3(fig34))
 		case "fig4":
-			show(experiments.Fig4Table(experiments.RunFig4(fig34)))
+			tbl = experiments.Fig4Table(experiments.RunFig4(fig34))
 		case "abl1":
-			show(experiments.Abl1Table(experiments.RunAbl1(fig1)))
+			tbl = experiments.Abl1Table(experiments.RunAbl1(fig1))
 		case "abl2":
-			show(experiments.Abl2Table(experiments.RunAbl2(fig34, nil, 5)))
+			tbl = experiments.Abl2Table(experiments.RunAbl2(fig34, nil, 5))
 		case "abl3":
-			show(experiments.Abl3Table(experiments.RunAbl3(nil, 0, 10e-3, seedList[0])))
+			tbl = experiments.Abl3Table(experiments.RunAbl3(nil, 0, 10e-3, seedList[0]))
 		case "abl4":
-			show(experiments.Abl4Table(experiments.RunAbl4(fig34)))
+			tbl = experiments.Abl4Table(experiments.RunAbl4(fig34))
 		case "abl5":
-			show(experiments.Abl5Table(experiments.RunAbl5(fig34, nil, 5)))
+			tbl = experiments.Abl5Table(experiments.RunAbl5(fig34, nil, 5))
 		case "abl6":
-			show(experiments.Abl6Table(experiments.RunAbl6(fig34)))
+			tbl = experiments.Abl6Table(experiments.RunAbl6(fig34))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+			return false
+		}
+		if name != "fig2" { // fig2 already printed (it adds the map render)
+			show(tbl)
+		}
+		if journal != nil {
+			// The summary record carries the environment stamps; the
+			// deterministic per-run records were written by the Run funcs.
+			_ = journal.Write(metrics.Record{
+				Experiment: name,
+				Label:      "summary",
+				TableCSV:   tbl.CSV(),
+				GitRev:     rev,
+				GoVersion:  runtime.Version(),
+				//lint:ignore wallclock environment stamp on the journal, excluded from golden comparisons
+				WallSeconds: time.Since(start).Seconds(),
+			})
 		}
 		if !*csv {
 			//lint:ignore wallclock reports elapsed wall time after the run's kernel has drained
 			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+		return true
 	}
 
 	if *exp == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "abl1", "abl2", "abl3", "abl4", "abl5", "abl6"} {
-			run(name)
+			if !runExp(name) {
+				return 2
+			}
 		}
-		return
+	} else if !runExp(*exp) {
+		return 2
 	}
-	run(*exp)
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "wmansim: journal:", err)
+			return 1
+		}
+	}
+	return 0
 }

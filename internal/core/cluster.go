@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
 )
@@ -31,15 +32,22 @@ type Cluster struct {
 
 	inflight map[packet.NodeID][]*delivery
 
-	stats ClusterStats
+	stats clusterCounters
 }
 
-// ClusterStats counts medium events.
+// ClusterStats is a read-only view of the medium counters.
 type ClusterStats struct {
 	Broadcasts uint64
 	Delivered  uint64
 	Lost       uint64 // random loss
 	Collided   uint64 // destroyed by the collision window
+}
+
+type clusterCounters struct {
+	broadcasts metrics.Counter
+	delivered  metrics.Counter
+	lost       metrics.Counter
+	collided   metrics.Counter
 }
 
 type delivery struct {
@@ -100,18 +108,33 @@ func (c *Cluster) AttachElector(e *Elector) { c.electors[e.ID()] = e }
 func (c *Cluster) AttachArbiter(a *Arbiter) { c.arbiters[a.ID()] = a }
 
 // Stats returns medium counters.
-func (c *Cluster) Stats() ClusterStats { return c.stats }
+func (c *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		Broadcasts: c.stats.broadcasts.Value(),
+		Delivered:  c.stats.delivered.Value(),
+		Lost:       c.stats.lost.Value(),
+		Collided:   c.stats.collided.Value(),
+	}
+}
+
+// RegisterMetrics implements metrics.Source.
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("cluster.broadcasts", &c.stats.broadcasts)
+	reg.Observe("cluster.delivered", &c.stats.delivered)
+	reg.Observe("cluster.lost", &c.stats.lost)
+	reg.Observe("cluster.collided", &c.stats.collided)
+}
 
 // Broadcast implements Medium.
 func (c *Cluster) Broadcast(from packet.NodeID, msg Message) {
-	c.stats.Broadcasts++
+	c.stats.broadcasts.Inc()
 	at := c.kernel.Now() + c.delay
 	for to, linked := range c.adj[from] {
 		if !linked {
 			continue
 		}
 		if c.loss > 0 && c.rng.Float64() < c.loss {
-			c.stats.Lost++
+			c.stats.lost.Inc()
 			continue
 		}
 		rcv := packet.NodeID(to)
@@ -146,10 +169,10 @@ func (c *Cluster) deliver(to packet.NodeID, d *delivery) {
 		}
 	}
 	if d.collided {
-		c.stats.Collided++
+		c.stats.collided.Inc()
 		return
 	}
-	c.stats.Delivered++
+	c.stats.delivered.Inc()
 	if e, ok := c.electors[to]; ok {
 		e.Handle(d.from, d.msg)
 	}

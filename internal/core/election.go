@@ -1,6 +1,7 @@
 package core
 
 import (
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
 )
@@ -46,16 +47,25 @@ type Elector struct {
 	// itself or learns the leader. Optional.
 	OnOutcome func(Outcome)
 
-	stats ElectorStats
+	stats electorCounters
 }
 
-// ElectorStats counts election events at one node.
+// ElectorStats is the plain-uint64 snapshot view of election counters.
 type ElectorStats struct {
 	Syncs      uint64 // synchronization points observed
 	Announces  uint64 // rounds this node claimed leadership
 	Cancels    uint64 // backoffs cancelled by someone else's win
 	Abstained  uint64 // rounds the policy declined to compete
 	AckCancels uint64 // cancellations caused by arbiter ACKs
+}
+
+// electorCounters is the live counter storage behind ElectorStats.
+type electorCounters struct {
+	syncs      metrics.Counter
+	announces  metrics.Counter
+	cancels    metrics.Counter
+	abstained  metrics.Counter
+	ackCancels metrics.Counter
 }
 
 // NewElector builds an elector for node id using the given policy.
@@ -69,7 +79,25 @@ func NewElector(k *sim.Kernel, id packet.NodeID, medium Medium, policy BackoffPo
 func (e *Elector) ID() packet.NodeID { return e.id }
 
 // Stats returns the elector's counters.
-func (e *Elector) Stats() ElectorStats { return e.stats }
+func (e *Elector) Stats() ElectorStats {
+	return ElectorStats{
+		Syncs:      e.stats.syncs.Value(),
+		Announces:  e.stats.announces.Value(),
+		Cancels:    e.stats.cancels.Value(),
+		Abstained:  e.stats.abstained.Value(),
+		AckCancels: e.stats.ackCancels.Value(),
+	}
+}
+
+// RegisterMetrics registers the elector counters; per-node sources sum
+// into study-wide election.* series.
+func (e *Elector) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("election.syncs", &e.stats.syncs)
+	reg.Observe("election.announces", &e.stats.announces)
+	reg.Observe("election.cancels", &e.stats.cancels)
+	reg.Observe("election.abstained", &e.stats.abstained)
+	reg.Observe("election.ack_cancels", &e.stats.ackCancels)
+}
 
 // Round returns the current round number.
 func (e *Elector) Round() uint32 { return e.round }
@@ -97,10 +125,10 @@ func (e *Elector) beginRound(round uint32, ctx Context) {
 	}
 	e.decided = false
 	e.outcome = Outcome{Round: round, Leader: packet.None}
-	e.stats.Syncs++
+	e.stats.syncs.Inc()
 	d, ok := e.policy.Backoff(e.ctx)
 	if !ok {
-		e.stats.Abstained++
+		e.stats.abstained.Inc()
 		e.backoff.Stop()
 		return
 	}
@@ -110,7 +138,7 @@ func (e *Elector) beginRound(round uint32, ctx Context) {
 // announce fires when the backoff expires uncancelled: claim leadership.
 func (e *Elector) announce() {
 	e.decided = true
-	e.stats.Announces++
+	e.stats.announces.Inc()
 	e.outcome = Outcome{Round: e.round, Leader: e.id, Won: true}
 	e.medium.Broadcast(e.id, Message{Kind: packet.KindAnnounce, Round: e.round, Leader: e.id})
 	e.report()
@@ -130,7 +158,7 @@ func (e *Elector) Handle(from packet.NodeID, msg Message) {
 		}
 		if e.backoff.Pending() {
 			e.backoff.Stop()
-			e.stats.Cancels++
+			e.stats.cancels.Inc()
 		}
 		e.decided = true
 		e.outcome = Outcome{Round: msg.Round, Leader: msg.Leader}
@@ -141,7 +169,7 @@ func (e *Elector) Handle(from packet.NodeID, msg Message) {
 		}
 		if e.backoff.Pending() {
 			e.backoff.Stop()
-			e.stats.AckCancels++
+			e.stats.ackCancels.Inc()
 		}
 		if !e.decided {
 			e.decided = true
@@ -187,10 +215,16 @@ type Arbiter struct {
 	// OnGaveUp fires when MaxRetries is exhausted.
 	OnGaveUp func(round uint32)
 
-	stats ArbiterStats
+	stats arbiterCounters
 }
 
-// ArbiterStats counts arbiter events.
+// arbiterCounters is the live counter storage behind ArbiterStats.
+type arbiterCounters struct {
+	triggers metrics.Counter
+	acks     metrics.Counter
+}
+
+// ArbiterStats is the plain-uint64 snapshot view of arbiter counters.
 type ArbiterStats struct {
 	Triggers uint64 // sync broadcasts (initial + retries)
 	Acks     uint64 // acknowledgements broadcast
@@ -207,7 +241,18 @@ func NewArbiter(k *sim.Kernel, id packet.NodeID, medium Medium, timeout sim.Time
 func (a *Arbiter) ID() packet.NodeID { return a.id }
 
 // Stats returns the arbiter's counters.
-func (a *Arbiter) Stats() ArbiterStats { return a.stats }
+func (a *Arbiter) Stats() ArbiterStats {
+	return ArbiterStats{
+		Triggers: a.stats.triggers.Value(),
+		Acks:     a.stats.acks.Value(),
+	}
+}
+
+// RegisterMetrics registers the arbiter counters under arbiter.* names.
+func (a *Arbiter) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("arbiter.triggers", &a.stats.triggers)
+	reg.Observe("arbiter.acks", &a.stats.acks)
+}
 
 // Leader returns the elected leader, or packet.None.
 func (a *Arbiter) Leader() packet.NodeID {
@@ -228,7 +273,7 @@ func (a *Arbiter) Trigger() {
 }
 
 func (a *Arbiter) broadcastSync() {
-	a.stats.Triggers++
+	a.stats.triggers.Inc()
 	a.medium.Broadcast(a.id, Message{Kind: packet.KindSync, Round: a.round})
 	a.timer.Reset(a.Timeout)
 }
@@ -241,7 +286,7 @@ func (a *Arbiter) Handle(from packet.NodeID, msg Message) {
 	a.done = true
 	a.leader = msg.Leader
 	a.timer.Stop()
-	a.stats.Acks++
+	a.stats.acks.Inc()
 	a.medium.Broadcast(a.id, Message{Kind: packet.KindAck, Round: a.round, Leader: msg.Leader})
 	if a.OnElected != nil {
 		a.OnElected(msg.Leader, a.round)

@@ -136,7 +136,7 @@ func RunAbl2(cfg Fig34Config, lambdas []sim.Time, pairs int) []Abl2Row {
 		j := jobs[i]
 		c := cfg
 		c.Lambda = j.lambda
-		return runRoutingOnce(c, ProtoRouteless, pairs, 0, j.seed)
+		return runRoutingOnce(c, ProtoRouteless, pairs, 0, j.seed).RunMetrics
 	})
 	idx := map[sim.Time]int{}
 	rows := make([]Abl2Row, len(lambdas))
@@ -270,7 +270,7 @@ func RunAbl4(cfg Fig34Config) []Abl4Row {
 	}
 	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
 		j := jobs[i]
-		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed)
+		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed).RunMetrics
 	})
 	idx := map[int]int{}
 	rows := make([]Abl4Row, len(cfg.Pairs))

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -37,7 +38,10 @@ func (a *Agg) Add(m RunMetrics) {
 }
 
 // meterAll attaches a delivery meter to every node: any application
-// delivery is scored by creation-time delay and traversed hops.
+// delivery is scored by creation-time delay and traversed hops. The
+// meter is also exposed on the network registry as app.* series, so a
+// journaled snapshot carries the end-to-end results next to the stack
+// counters.
 func meterAll(nw *node.Network, m *stats.Meter) {
 	for _, n := range nw.Nodes {
 		n := n
@@ -45,11 +49,22 @@ func meterAll(nw *node.Network, m *stats.Meter) {
 			m.PacketReceived(float64(nw.Kernel.Now()-p.CreatedAt), p.HopCount)
 		}
 	}
+	nw.Metrics.Func("app.sent", func() uint64 { return m.Sent })
+	nw.Metrics.Func("app.received", func() uint64 { return m.Received })
+	nw.Metrics.GaugeFunc("app.delay_mean_s", func() float64 { return m.Delay.Mean() })
+	nw.Metrics.GaugeFunc("app.hops_mean", func() float64 { return m.Hops.Mean() })
 }
 
-// collect converts a finished network + meter into RunMetrics.
+// collect converts a finished network + meter into RunMetrics. Every
+// experiment run — figures, ablations, and the benchmark configs —
+// funnels through here, so the packet conservation laws are asserted on
+// each of them; a violation is a simulator bug, not a measurement, and
+// panics.
 func collect(nw *node.Network, m *stats.Meter) RunMetrics {
 	countEvents(nw.Kernel)
+	if err := nw.CheckInvariants(); err != nil {
+		panic(err)
+	}
 	return RunMetrics{
 		Delay:      m.Delay.Mean(),
 		Hops:       m.Hops.Mean(),
@@ -57,6 +72,23 @@ func collect(nw *node.Network, m *stats.Meter) RunMetrics {
 		MACPackets: float64(nw.MACPackets()),
 		EnergyJ:    nw.TotalEnergy(),
 	}
+}
+
+// runOut is one run's result as it crosses the parallel.Map boundary:
+// the paper-unit metrics, plus the final registry snapshot when the
+// sweep is journaling (nil otherwise — snapshots are not free).
+type runOut struct {
+	RunMetrics
+	snap *metrics.Snapshot
+}
+
+// snapshotIf captures the network's final metric snapshot when want is
+// set.
+func snapshotIf(nw *node.Network, want bool) *metrics.Snapshot {
+	if !want {
+		return nil
+	}
+	return nw.Metrics.Snapshot()
 }
 
 // drainTime is how long runs continue after traffic stops so in-flight

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"routeless/internal/flood"
 	"routeless/internal/geo"
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/parallel"
 	"routeless/internal/phy"
@@ -27,6 +30,11 @@ type Fig1Config struct {
 	Workers     int       // parallelism; default GOMAXPROCS
 	Lambda      sim.Time  // SSAF λ and counter-1 max backoff; default 10 ms
 	DataSize    int       // flooded payload bytes; default 64
+
+	// Journal, when non-nil, receives one Record per run — config, seed,
+	// and the final metric snapshot — written after the sweep in job
+	// order, so the journal bytes are deterministic for a fixed config.
+	Journal *metrics.Journal `json:"-"`
 }
 
 func (c Fig1Config) withDefaults() Fig1Config {
@@ -86,7 +94,7 @@ func RunFig1(cfg Fig1Config) []Fig1Row {
 			jobs = append(jobs, job{iv, false, s}, job{iv, true, s})
 		}
 	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
+	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
 		j := jobs[i]
 		return runFloodOnce(cfg, j.interval, j.ssaf, j.seed)
 	})
@@ -101,9 +109,25 @@ func RunFig1(cfg Fig1Config) []Fig1Row {
 	for i, j := range jobs {
 		row := &rows[idx[j.interval]]
 		if j.ssaf {
-			row.SSAF.Add(results[i])
+			row.SSAF.Add(results[i].RunMetrics)
 		} else {
-			row.Counter1.Add(results[i])
+			row.Counter1.Add(results[i].RunMetrics)
+		}
+	}
+	if cfg.Journal != nil {
+		for i, j := range jobs {
+			variant := "counter1"
+			if j.ssaf {
+				variant = "ssaf"
+			}
+			// A write failure sticks on the journal; callers check Err once.
+			_ = cfg.Journal.Write(metrics.Record{
+				Experiment: "fig1",
+				Label:      fmt.Sprintf("%s interval=%g", variant, j.interval),
+				Seed:       j.seed,
+				Config:     cfg,
+				Metrics:    results[i].snap,
+			})
 		}
 	}
 	return rows
@@ -120,7 +144,7 @@ func ssafSpan(rangeM float64) (minDBm, maxDBm float64) {
 	return
 }
 
-func runFloodOnce(cfg Fig1Config, interval float64, ssaf bool, seed int64) RunMetrics {
+func runFloodOnce(cfg Fig1Config, interval float64, ssaf bool, seed int64) runOut {
 	nw := node.New(node.Config{
 		N:               cfg.Nodes,
 		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
@@ -151,7 +175,7 @@ func runFloodOnce(cfg Fig1Config, interval float64, ssaf bool, seed int64) RunMe
 		c.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
-	return collect(nw, &meter)
+	return runOut{collect(nw, &meter), snapshotIf(nw, cfg.Journal != nil)}
 }
 
 // Fig1Table renders the three panels as one table.

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"routeless/internal/geo"
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/parallel"
@@ -43,6 +46,11 @@ type Fig34Config struct {
 	FailurePcts []float64
 	// Fig4Pairs is the fixed pair count for Figure 4; default 10.
 	Fig4Pairs int
+
+	// Journal, when non-nil, receives one Record per run — config, seed,
+	// and the final metric snapshot — written after each sweep in job
+	// order, so the journal bytes are deterministic for a fixed config.
+	Journal *metrics.Journal `json:"-"`
 }
 
 func (c Fig34Config) withDefaults() Fig34Config {
@@ -87,7 +95,7 @@ func (c Fig34Config) withDefaults() Fig34Config {
 // runRoutingOnce builds a network, installs the protocol, starts
 // bidirectional CBR over `pairs` connections, injects duty-cycle
 // failures on non-endpoint nodes, and measures.
-func runRoutingOnce(cfg Fig34Config, proto RoutingProto, pairs int, failurePct float64, seed int64) RunMetrics {
+func runRoutingOnce(cfg Fig34Config, proto RoutingProto, pairs int, failurePct float64, seed int64) runOut {
 	nw := node.New(node.Config{
 		N:               cfg.Nodes,
 		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
@@ -146,7 +154,7 @@ func runRoutingOnce(cfg Fig34Config, proto RoutingProto, pairs int, failurePct f
 		c.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
-	return collect(nw, &meter)
+	return runOut{collect(nw, &meter), snapshotIf(nw, cfg.Journal != nil)}
 }
 
 // Fig3Row is one x-axis point of the four Figure 3 panels.
@@ -170,7 +178,7 @@ func RunFig3(cfg Fig34Config) []Fig3Row {
 			jobs = append(jobs, job{p, ProtoAODV, s}, job{p, ProtoRouteless, s})
 		}
 	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
+	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
 		j := jobs[i]
 		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed)
 	})
@@ -183,9 +191,21 @@ func RunFig3(cfg Fig34Config) []Fig3Row {
 	for i, j := range jobs {
 		row := &rows[idx[j.pairs]]
 		if j.proto == ProtoAODV {
-			row.AODV.Add(results[i])
+			row.AODV.Add(results[i].RunMetrics)
 		} else {
-			row.Routeless.Add(results[i])
+			row.Routeless.Add(results[i].RunMetrics)
+		}
+	}
+	if cfg.Journal != nil {
+		for i, j := range jobs {
+			// A write failure sticks on the journal; callers check Err once.
+			_ = cfg.Journal.Write(metrics.Record{
+				Experiment: "fig3",
+				Label:      fmt.Sprintf("%s pairs=%d", j.proto, j.pairs),
+				Seed:       j.seed,
+				Config:     cfg,
+				Metrics:    results[i].snap,
+			})
 		}
 	}
 	return rows
@@ -233,7 +253,7 @@ func RunFig4(cfg Fig34Config) []Fig4Row {
 			jobs = append(jobs, job{pct, ProtoAODV, s}, job{pct, ProtoRouteless, s})
 		}
 	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
+	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
 		j := jobs[i]
 		return runRoutingOnce(cfg, j.proto, cfg.Fig4Pairs, j.pct, j.seed)
 	})
@@ -246,9 +266,21 @@ func RunFig4(cfg Fig34Config) []Fig4Row {
 	for i, j := range jobs {
 		row := &rows[idx[j.pct]]
 		if j.proto == ProtoAODV {
-			row.AODV.Add(results[i])
+			row.AODV.Add(results[i].RunMetrics)
 		} else {
-			row.Routeless.Add(results[i])
+			row.Routeless.Add(results[i].RunMetrics)
+		}
+	}
+	if cfg.Journal != nil {
+		for i, j := range jobs {
+			// A write failure sticks on the journal; callers check Err once.
+			_ = cfg.Journal.Write(metrics.Record{
+				Experiment: "fig4",
+				Label:      fmt.Sprintf("%s failure=%g", j.proto, j.pct),
+				Seed:       j.seed,
+				Config:     cfg,
+				Metrics:    results[i].snap,
+			})
 		}
 	}
 	return rows

@@ -23,6 +23,7 @@ package flood
 import (
 	"routeless/internal/core"
 	"routeless/internal/geo"
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -73,7 +74,8 @@ func LocationConfig(lambda sim.Time, rangeM float64, locator func(id packet.Node
 	}
 }
 
-// Stats counts flooding events at one node.
+// Stats is the plain-uint64 snapshot view of one node's flooding
+// counters.
 type Stats struct {
 	Originated uint64 // packets this node sourced
 	Forwards   uint64 // rebroadcasts enqueued to the MAC
@@ -81,6 +83,16 @@ type Stats struct {
 	Cancelled  uint64 // pending rebroadcasts cancelled (Cancel variant)
 	Delivered  uint64 // packets consumed as destination
 	TTLDrops   uint64 // copies dropped for exhausted TTL
+}
+
+// floodCounters is the live counter storage behind Stats.
+type floodCounters struct {
+	originated metrics.Counter
+	forwards   metrics.Counter
+	duplicates metrics.Counter
+	cancelled  metrics.Counter
+	delivered  metrics.Counter
+	ttlDrops   metrics.Counter
 }
 
 // Flooding is one node's instance of the protocol.
@@ -97,7 +109,7 @@ type Flooding struct {
 	// OnForward, if set, observes every rebroadcast (for tracing).
 	OnForward func(pkt *packet.Packet)
 
-	stats Stats
+	stats floodCounters
 }
 
 // pendingForward is one armed rebroadcast.
@@ -129,12 +141,32 @@ func New(cfg Config) *Flooding {
 func (f *Flooding) Start(n *node.Node) { f.n = n }
 
 // Stats returns the node's flooding counters.
-func (f *Flooding) Stats() Stats { return f.stats }
+func (f *Flooding) Stats() Stats {
+	return Stats{
+		Originated: f.stats.originated.Value(),
+		Forwards:   f.stats.forwards.Value(),
+		Duplicates: f.stats.duplicates.Value(),
+		Cancelled:  f.stats.cancelled.Value(),
+		Delivered:  f.stats.delivered.Value(),
+		TTLDrops:   f.stats.ttlDrops.Value(),
+	}
+}
+
+// RegisterMetrics registers the flooding counters; per-node sources sum
+// into network-wide flood.* series.
+func (f *Flooding) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("flood.originated", &f.stats.originated)
+	reg.Observe("flood.forwards", &f.stats.forwards)
+	reg.Observe("flood.duplicates", &f.stats.duplicates)
+	reg.Observe("flood.cancelled", &f.stats.cancelled)
+	reg.Observe("flood.delivered", &f.stats.delivered)
+	reg.Observe("flood.ttl_drops", &f.stats.ttlDrops)
+}
 
 // Send implements node.Protocol: originate a flooded data packet.
 func (f *Flooding) Send(target packet.NodeID, size int) {
 	f.seq++
-	f.stats.Originated++
+	f.stats.originated.Inc()
 	pkt := &packet.Packet{
 		Kind: packet.KindFlood, To: packet.Broadcast,
 		Origin: f.n.ID, Target: target, Seq: f.seq,
@@ -156,7 +188,7 @@ func (f *Flooding) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 	}
 	key := pkt.Key()
 	if f.dedup.Seen(key) {
-		f.stats.Duplicates++
+		f.stats.duplicates.Inc()
 		if f.cfg.Cancel {
 			if pf, ok := f.pending[key]; ok {
 				cancelled := false
@@ -168,20 +200,20 @@ func (f *Flooding) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 				}
 				if cancelled {
 					delete(f.pending, key)
-					f.stats.Cancelled++
+					f.stats.cancelled.Inc()
 				}
 			}
 		}
 		return
 	}
 	if pkt.Target == f.n.ID {
-		f.stats.Delivered++
+		f.stats.delivered.Inc()
 		f.n.Deliver(pkt)
 		// The destination still participates in the flood: other
 		// receivers may sit behind it.
 	}
 	if pkt.TTL <= 1 {
-		f.stats.TTLDrops++
+		f.stats.ttlDrops.Inc()
 		return
 	}
 	f.armForward(pkt, rssiDBm)
@@ -189,11 +221,11 @@ func (f *Flooding) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 
 func (f *Flooding) handleBlind(pkt *packet.Packet, rssiDBm float64) {
 	if pkt.Target == f.n.ID {
-		f.stats.Delivered++
+		f.stats.delivered.Inc()
 		f.n.Deliver(pkt)
 	}
 	if pkt.TTL <= 1 {
-		f.stats.TTLDrops++
+		f.stats.ttlDrops.Inc()
 		return
 	}
 	backoff := sim.Time(f.n.Rng.Float64()) * 5e-3
@@ -239,7 +271,7 @@ func (f *Flooding) prepareForward(pkt *packet.Packet) *packet.Packet {
 }
 
 func (f *Flooding) transmit(fwd *packet.Packet, priority float64) {
-	f.stats.Forwards++
+	f.stats.forwards.Inc()
 	if f.OnForward != nil {
 		f.OnForward(fwd)
 	}

@@ -377,3 +377,51 @@ func bad(a, b float64) bool {
 		},
 	})
 }
+
+func TestStatsMut(t *testing.T) {
+	const statsSrc = `package fix
+type FloodStats struct{ Forwards, Duplicates uint64 }
+type proto struct{ stats FloodStats }
+func bad(p *proto) {
+	p.stats.Forwards++
+	p.stats.Duplicates += 2
+}`
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches increment and compound assign in internal", analyzer: StatsMut,
+			path: "routeless/internal/fix", filename: "fix.go", src: statsSrc,
+			want: []string{"FloodStats.Forwards", "FloodStats.Duplicates"},
+		},
+		{
+			name: "catches mutation through a pointer in cmd", analyzer: StatsMut,
+			path: "routeless/cmd/fix", filename: "main.go",
+			src: `package main
+type RadioStats struct{ TxFrames uint64 }
+func bad(s *RadioStats) { s.TxFrames-- }
+func main() {}`,
+			want: []string{"RadioStats.TxFrames"},
+		},
+		{
+			name: "test files may build Stats fixtures freely", analyzer: StatsMut,
+			path: "routeless/internal/fix", filename: "fix_test.go", src: statsSrc,
+		},
+		{
+			name: "clean: plain assignment to a local view copy", analyzer: StatsMut,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+type MACStats struct{ Enqueued uint64 }
+func good() uint64 {
+	var v MACStats
+	v.Enqueued = 7
+	return v.Enqueued
+}`,
+		},
+		{
+			name: "clean: non-Stats struct counters are out of scope", analyzer: StatsMut,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+type tally struct{ hits uint64 }
+func good(t *tally) { t.hits++ }`,
+		},
+	})
+}

@@ -254,5 +254,6 @@ func All() []*Analyzer {
 		Goroutine,
 		FloatEq,
 		SortPkg,
+		StatsMut,
 	}
 }

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StatsMut forbids direct mutation (x.Field++, x.Field += n, …) of
+// fields on *Stats-named struct types outside tests. The migrated
+// layers count through metrics.Counter cells registered with the
+// network registry; their Stats() structs are read-only views built
+// from those cells. A stray increment on a view field is a counter the
+// registry never sees — it silently breaks snapshot/journal
+// completeness and the conservation laws, which is exactly the class of
+// drift the drop/abort accounting audit cleaned up.
+//
+// The rule applies to internal/ and cmd/ code. internal/metrics and
+// internal/stats are exempt: they are the mutation primitives
+// themselves (Counter, Welford, Meter).
+var StatsMut = &Analyzer{
+	Name: "statsmut",
+	Doc:  "forbid direct mutation of Stats-view fields; count through metrics.Counter",
+	Run:  runStatsMut,
+}
+
+func runStatsMut(p *Pass) {
+	if !p.InInternal() && !p.InCmd() {
+		return
+	}
+	if strings.HasSuffix(p.Path, "internal/metrics") || strings.HasSuffix(p.Path, "internal/stats") {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.IncDecStmt:
+				reportStatsField(p, st.X, st.TokPos, st.Tok.String())
+			case *ast.AssignStmt:
+				// Compound assignment only: plain = on a local copy of a
+				// view is harmless (the copy dies), while += / -= / |= on
+				// one is the uncounted-counter pattern this rule exists for.
+				if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					reportStatsField(p, lhs, st.TokPos, st.Tok.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportStatsField flags e when it selects a field on a value whose
+// named type ends in "Stats".
+func reportStatsField(p *Pass, e ast.Expr, pos token.Pos, op string) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return
+	}
+	p.Reportf(pos, "%s on %s.%s mutates a Stats view the metrics registry cannot see; count through a registered metrics.Counter instead",
+		op, named.Obj().Name(), sel.Sel.Name)
+}

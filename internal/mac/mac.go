@@ -12,6 +12,7 @@ package mac
 import (
 	"math/rand"
 
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/phy"
 	"routeless/internal/sim"
@@ -59,9 +60,9 @@ type Handler interface {
 	OnUnicastFailed(pkt *packet.Packet)
 }
 
-// Stats counts MAC events. TxFrames counts every transmission attempt
-// including retries and ACKs: it is the paper's "Number of MAC Packets"
-// metric (Figures 3 and 4).
+// Stats is the plain-uint64 snapshot view of MAC counters. TxFrames
+// counts every transmission attempt including retries and ACKs: it is
+// the paper's "Number of MAC Packets" metric (Figures 3 and 4).
 type Stats struct {
 	Enqueued      uint64
 	DroppedFull   uint64
@@ -74,6 +75,23 @@ type Stats struct {
 	DroppedPaused uint64
 	Dequeued      uint64
 	DupRx         uint64
+	Completed     uint64 // frames that finished successfully (sent/acked)
+}
+
+// macCounters is the live counter storage behind Stats.
+type macCounters struct {
+	enqueued      metrics.Counter
+	droppedFull   metrics.Counter
+	txFrames      metrics.Counter
+	txAcks        metrics.Counter
+	retries       metrics.Counter
+	unicastFailed metrics.Counter
+	delivered     metrics.Counter
+	acksReceived  metrics.Counter
+	droppedPaused metrics.Counter
+	dequeued      metrics.Counter
+	dupRx         metrics.Counter
+	completed     metrics.Counter
 }
 
 type macState uint8
@@ -115,7 +133,7 @@ type MAC struct {
 	rxSeen     map[uint64]struct{}
 	rxSeenFIFO []uint64
 
-	stats Stats
+	stats macCounters
 }
 
 // New wires a MAC onto a radio. It installs itself as the radio's
@@ -139,7 +157,47 @@ func New(k *sim.Kernel, radio *phy.Radio, cfg Config, rng *rand.Rand) *MAC {
 func (m *MAC) SetHandler(h Handler) { m.handler = h }
 
 // Stats returns a snapshot of the MAC counters.
-func (m *MAC) Stats() Stats { return m.stats }
+func (m *MAC) Stats() Stats {
+	return Stats{
+		Enqueued:      m.stats.enqueued.Value(),
+		DroppedFull:   m.stats.droppedFull.Value(),
+		TxFrames:      m.stats.txFrames.Value(),
+		TxAcks:        m.stats.txAcks.Value(),
+		Retries:       m.stats.retries.Value(),
+		UnicastFailed: m.stats.unicastFailed.Value(),
+		Delivered:     m.stats.delivered.Value(),
+		AcksReceived:  m.stats.acksReceived.Value(),
+		DroppedPaused: m.stats.droppedPaused.Value(),
+		Dequeued:      m.stats.dequeued.Value(),
+		DupRx:         m.stats.dupRx.Value(),
+		Completed:     m.stats.completed.Value(),
+	}
+}
+
+// RegisterMetrics registers the MAC counters plus the live backlog (the
+// in-flight term of the mac-queue conservation law: frames waiting in
+// the priority queue plus the one under contention).
+func (m *MAC) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("mac.enqueued", &m.stats.enqueued)
+	reg.Observe("mac.dropped_full", &m.stats.droppedFull)
+	reg.Observe("mac.tx_frames", &m.stats.txFrames)
+	reg.Observe("mac.tx_acks", &m.stats.txAcks)
+	reg.Observe("mac.retries", &m.stats.retries)
+	reg.Observe("mac.unicast_failed", &m.stats.unicastFailed)
+	reg.Observe("mac.delivered", &m.stats.delivered)
+	reg.Observe("mac.acks_received", &m.stats.acksReceived)
+	reg.Observe("mac.dropped_paused", &m.stats.droppedPaused)
+	reg.Observe("mac.dequeued", &m.stats.dequeued)
+	reg.Observe("mac.dup_rx", &m.stats.dupRx)
+	reg.Observe("mac.completed", &m.stats.completed)
+	reg.Func("mac.backlog", func() uint64 {
+		n := uint64(m.queue.len())
+		if m.current != nil {
+			n++
+		}
+		return n
+	})
+}
 
 // QueueLen returns the number of frames waiting behind the current one.
 func (m *MAC) QueueLen() int { return m.queue.len() }
@@ -151,9 +209,9 @@ func (m *MAC) ID() packet.NodeID { return m.radio.ID() }
 // served first — network layers pass their backoff delay). It reports
 // false when the queue is full and the frame was dropped.
 func (m *MAC) Enqueue(pkt *packet.Packet, priority float64) bool {
-	m.stats.Enqueued++
+	m.stats.enqueued.Inc()
 	if !m.queue.push(pkt, priority) {
-		m.stats.DroppedFull++
+		m.stats.droppedFull.Inc()
 		return false
 	}
 	if m.state == stIdle {
@@ -177,14 +235,14 @@ func (m *MAC) Dequeue(pkt *packet.Packet) bool {
 			m.access.Stop()
 			m.current = nil
 			m.state = stIdle
-			m.stats.Dequeued++
+			m.stats.dequeued.Inc()
 			m.nextFrame()
 			return true
 		}
 		return false
 	}
 	if m.queue.remove(pkt) {
-		m.stats.Dequeued++
+		m.stats.dequeued.Inc()
 		return true
 	}
 	return false
@@ -199,7 +257,7 @@ func (m *MAC) Pause() {
 	if m.current != nil {
 		// Back in the queue; it will recontend after Resume.
 		if !m.queue.push(m.current.pkt, m.current.priority) {
-			m.stats.DroppedPaused++
+			m.stats.droppedPaused.Inc()
 		}
 		m.current = nil
 	}
@@ -289,7 +347,7 @@ func (m *MAC) transmitCurrent() {
 		return
 	}
 	m.state = stTx
-	m.stats.TxFrames++
+	m.stats.txFrames.Inc()
 	m.pendingTx = m.current.pkt
 	m.radio.Transmit(m.current.pkt)
 }
@@ -312,13 +370,13 @@ func (m *MAC) OnTxDone() {
 }
 
 func (m *MAC) ackTimeout() {
-	m.stats.Retries++
+	m.stats.retries.Inc()
 	m.retries++
 	if m.retries > m.cfg.RetryLimit {
 		pkt := m.current.pkt
 		m.current = nil
 		m.state = stIdle
-		m.stats.UnicastFailed++
+		m.stats.unicastFailed.Inc()
 		if m.handler != nil {
 			m.handler.OnUnicastFailed(pkt)
 		}
@@ -334,6 +392,7 @@ func (m *MAC) ackTimeout() {
 func (m *MAC) finishCurrent(pkt *packet.Packet, ok bool) {
 	m.current = nil
 	m.state = stIdle
+	m.stats.completed.Inc()
 	if ok && m.handler != nil {
 		m.handler.OnSent(pkt)
 	}
@@ -345,7 +404,7 @@ func (m *MAC) OnReceive(pkt *packet.Packet, rssiDBm float64) {
 	if pkt.Kind == packet.KindMACAck {
 		if m.state == stAck && pkt.To == m.radio.ID() {
 			if ref, okRef := pkt.Payload.(uint64); okRef && ref == m.ackRef {
-				m.stats.AcksReceived++
+				m.stats.acksReceived.Inc()
 				m.access.Stop()
 				m.finishCurrent(m.current.pkt, true)
 			}
@@ -355,11 +414,11 @@ func (m *MAC) OnReceive(pkt *packet.Packet, rssiDBm float64) {
 	if pkt.To == m.radio.ID() {
 		m.scheduleAck(pkt)
 		if m.seenUID(pkt.UID) {
-			m.stats.DupRx++
+			m.stats.dupRx.Inc()
 			return // ARQ retransmission: acked again, delivered once
 		}
 	}
-	m.stats.Delivered++
+	m.stats.delivered.Inc()
 	if m.handler != nil {
 		m.handler.OnDeliver(pkt, rssiDBm)
 	}
@@ -398,8 +457,8 @@ func (m *MAC) scheduleAck(orig *packet.Packet) {
 		if !m.radio.On() || m.radio.State() == phy.StateTx {
 			return // can't ack right now; sender will retry
 		}
-		m.stats.TxAcks++
-		m.stats.TxFrames++
+		m.stats.txAcks.Inc()
+		m.stats.txFrames.Inc()
 		m.radio.Transmit(ack)
 	})
 }

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one line of the run journal: the provenance and outcome of
+// one experiment run (or one whole sweep). The deterministic core —
+// Experiment, Label, Seed, Config, Metrics, TableCSV — is bit-for-bit
+// reproducible from the seed; the environment fields (GitRev,
+// GoVersion, WallSeconds) are stamped only by the command-line tools
+// and omitted from golden comparisons.
+type Record struct {
+	Experiment  string    `json:"experiment"`
+	Label       string    `json:"label,omitempty"`
+	Seed        int64     `json:"seed,omitempty"`
+	Config      any       `json:"config,omitempty"`
+	Metrics     *Snapshot `json:"metrics,omitempty"`
+	TableCSV    string    `json:"table_csv,omitempty"`
+	GitRev      string    `json:"git_rev,omitempty"`
+	GoVersion   string    `json:"go_version,omitempty"`
+	WallSeconds float64   `json:"wall_seconds,omitempty"`
+}
+
+// Journal appends Records as JSON Lines to a writer. Encoding uses only
+// structs and slices (never maps), so the byte stream is deterministic
+// for deterministic inputs.
+type Journal struct {
+	w   io.Writer
+	err error
+}
+
+// NewJournal wraps w. The caller owns the writer's lifecycle (the
+// commands open/close the file; tests pass a bytes.Buffer).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Write appends one record as a single JSON line. The first failure
+// sticks and is also visible through Err, so callers deep inside an
+// experiment sweep may ignore the per-record error and check once at
+// the end.
+func (j *Journal) Write(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = j.w.Write(data)
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	return err
+}
+
+// Err returns the first error any Write encountered, if any.
+func (j *Journal) Err() error { return j.err }

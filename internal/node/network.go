@@ -5,6 +5,7 @@ import (
 
 	"routeless/internal/geo"
 	"routeless/internal/mac"
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/phy"
 	"routeless/internal/propagation"
@@ -49,6 +50,12 @@ type Network struct {
 	Nodes   []*Node
 	Rect    geo.Rect
 	Seed    int64
+
+	// Metrics is the network-wide registry: channel counters, then every
+	// radio and MAC in node-id order, then any protocol implementing
+	// metrics.Source at Install time. Registration order is fixed, so
+	// same-seed snapshots are bit-for-bit identical.
+	Metrics *metrics.Registry
 }
 
 // New builds the network. It panics on nonsensical configuration —
@@ -103,7 +110,9 @@ func New(cfg Config) *Network {
 		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
 	})
 
-	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed}
+	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed,
+		Metrics: metrics.NewRegistry()}
+	ch.RegisterMetrics(nw.Metrics)
 	nw.Nodes = make([]*Node, len(positions))
 	for i := range positions {
 		n := &Node{
@@ -115,16 +124,52 @@ func New(cfg Config) *Network {
 		}
 		n.MAC = mac.New(kernel, n.Radio, macCfg, rng.ForNode(cfg.Seed, rng.StreamMAC, i))
 		n.MAC.SetHandler(macAdapter{n})
+		n.Radio.RegisterMetrics(nw.Metrics)
+		n.MAC.RegisterMetrics(nw.Metrics)
 		nw.Nodes[i] = n
 	}
+	nw.registerLaws()
 	return nw
 }
 
+// registerLaws declares the packet conservation invariants every run
+// must satisfy at any instant. Each law equates two exact uint64 sums;
+// the in-flight populations (pending leading edges, tracked signals,
+// MAC backlogs) enter as func-counters so no cutoff ambiguity exists.
+func (nw *Network) registerLaws() {
+	// Every scheduled (radio, frame) delivery is eventually either
+	// dropped at an off radio or enters in-air tracking.
+	nw.Metrics.Law("phy-delivery",
+		[]string{"chan.deliveries"},
+		[]string{"phy.dropped_off", "phy.signal_starts", "chan.pending_starts"})
+	// Every tracked signal leaves tracking exactly once: trailing edge,
+	// or flushed when its receiver powered down, or still on the air.
+	nw.Metrics.Law("phy-signal",
+		[]string{"phy.signal_starts"},
+		[]string{"phy.signal_ends", "phy.flushed_by_off", "phy.in_air"})
+	// Every frame handed to a MAC is dropped at the full queue, fully
+	// withdrawn, completed, failed, lost at pause, or still backlogged.
+	nw.Metrics.Law("mac-queue",
+		[]string{"mac.enqueued"},
+		[]string{"mac.dropped_full", "mac.dequeued", "mac.completed",
+			"mac.unicast_failed", "mac.dropped_paused", "mac.backlog"})
+}
+
+// CheckInvariants evaluates every registered conservation law and
+// returns the violations, if any. Experiments call it after each run;
+// tests may call it at any instant.
+func (nw *Network) CheckInvariants() error { return nw.Metrics.Check() }
+
 // Install attaches one protocol instance per node using the factory and
-// starts them. Call exactly once, before running the kernel.
+// starts them. Call exactly once, before running the kernel. Protocols
+// implementing metrics.Source are registered with the network registry
+// in node-id order.
 func (nw *Network) Install(factory func(n *Node) Protocol) {
 	for _, n := range nw.Nodes {
 		n.Net = factory(n)
+		if src, ok := n.Net.(metrics.Source); ok {
+			src.RegisterMetrics(nw.Metrics)
+		}
 	}
 	// Separate loop: protocols may talk to neighbors during Start.
 	for _, n := range nw.Nodes {

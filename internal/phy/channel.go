@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"routeless/internal/geo"
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/propagation"
 	"routeless/internal/sim"
@@ -47,7 +48,12 @@ type Channel struct {
 	cutoff float64
 
 	uid   uint64
-	stats ChannelStats
+	stats chanCounters
+
+	// pendingStarts counts deliveries scheduled whose leading edge has
+	// not yet reached the receiver — the in-flight term of the
+	// phy-delivery conservation law.
+	pendingStarts int
 
 	// links[i] caches node i's outgoing edges; linkValid[i] marks the
 	// entry current. noCache forces a rebuild on every transmission —
@@ -71,10 +77,16 @@ type Channel struct {
 	scratch []int
 }
 
-// ChannelStats aggregates medium-wide counters.
+// ChannelStats is the plain-uint64 snapshot view of medium-wide counters.
 type ChannelStats struct {
 	Transmissions uint64 // frames put on the air
 	Deliveries    uint64 // (radio, frame) pairs scheduled
+}
+
+// chanCounters is the live counter storage behind ChannelStats.
+type chanCounters struct {
+	transmissions metrics.Counter
+	deliveries    metrics.Counter
 }
 
 // ChannelConfig configures the medium.
@@ -196,7 +208,20 @@ func (c *Channel) Model() propagation.Model { return c.model }
 func (c *Channel) Cutoff() float64 { return c.cutoff }
 
 // Stats returns medium-wide counters.
-func (c *Channel) Stats() ChannelStats { return c.stats }
+func (c *Channel) Stats() ChannelStats {
+	return ChannelStats{
+		Transmissions: c.stats.transmissions.Value(),
+		Deliveries:    c.stats.deliveries.Value(),
+	}
+}
+
+// RegisterMetrics registers the medium-wide counters and the pending
+// leading-edge count with the registry.
+func (c *Channel) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("chan.transmissions", &c.stats.transmissions)
+	reg.Observe("chan.deliveries", &c.stats.deliveries)
+	reg.Func("chan.pending_starts", func() uint64 { return uint64(c.pendingStarts) })
+}
 
 // MeanPowerAt returns the deterministic (unfaded) receive power in dBm
 // between two node indices — used by tests and by range queries.
@@ -235,7 +260,7 @@ func (c *Channel) buildLinks(src int) []link {
 // transmit fans a frame out to every radio within the cutoff range.
 // Receivers are visited in id order so fading draws are reproducible.
 func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
-	c.stats.Transmissions++
+	c.stats.transmissions.Inc()
 	if pkt.UID == 0 {
 		// Assign once per frame: ARQ retransmissions keep their UID so
 		// receivers can suppress duplicates of the same frame.
@@ -263,7 +288,8 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 		}
 		s := c.newSignal(pkt.Clone(), pDBm, pMW)
 		s.end = now + l.delay + dur
-		c.stats.Deliveries++
+		c.stats.deliveries.Inc()
+		src.txLive = append(src.txLive, s)
 		c.scheduleDelivery(rcv, s, now+l.delay)
 	}
 }
@@ -321,6 +347,7 @@ func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
 		d.fn = d.fire
 	}
 	d.rcv, d.sig, d.started = rcv, s, false
+	c.pendingStarts++
 	c.kernel.At(start, d.fn)
 }
 
@@ -330,6 +357,7 @@ func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
 func (d *delivery) fire() {
 	if !d.started {
 		d.started = true
+		d.ch.pendingStarts--
 		d.ch.kernel.At(d.sig.end, d.fn)
 		d.rcv.signalStart(d.sig)
 		return

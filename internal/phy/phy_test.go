@@ -450,3 +450,131 @@ func TestEnergySleepCheaperThanIdle(t *testing.T) {
 		t.Fatalf("sleep %vJ should be orders cheaper than idle %vJ", sleepJ, idleJ)
 	}
 }
+
+func TestTurnOffMidTransmitTruncates(t *testing.T) {
+	// Power-down ordering audit: a radio turned off while transmitting
+	// must abort the frame on the channel — receivers that locked onto
+	// it count Truncated instead of delivering — and the energy meter
+	// must charge Tx draw only up to the power-down instant.
+	k, ch, recs := testChannel(t, pts(0, 0, 100, 0), 250)
+	ch.Radio(0).Transmit(pkt(1000)) // 8 ms at 1 Mbps
+	k.Schedule(0.004, func() { ch.Radio(0).TurnOff() })
+	k.Run()
+	if len(recs[1].rx) != 0 {
+		t.Fatal("receiver decoded a frame whose transmission was powered down mid-air")
+	}
+	if got := ch.Radio(0).Stats().TxAborted; got != 1 {
+		t.Fatalf("TxAborted = %d, want 1", got)
+	}
+	if got := ch.Radio(1).Stats().Truncated; got != 1 {
+		t.Fatalf("Truncated = %d, want 1", got)
+	}
+	if recs[0].txDone != 0 {
+		t.Fatal("OnTxDone fired for an aborted transmission")
+	}
+	// Tx draw for exactly [0, 4 ms], zero while off.
+	wantJ := 0.004 * DefaultPower().Tx
+	if got := ch.Radio(0).Energy().Total(k.Now()); math.Abs(got-wantJ) > 1e-9 {
+		t.Fatalf("energy %v J, want %v J", got, wantJ)
+	}
+	// The radio recovers, and the stale completion event of the
+	// truncated transmission must not terminate the new frame early.
+	ch.Radio(0).TurnOn()
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatal("radio did not recover after mid-transmit TurnOff")
+	}
+	if recs[0].txDone != 1 {
+		t.Fatalf("OnTxDone fired %d times, want 1 (the post-recovery frame only)", recs[0].txDone)
+	}
+}
+
+func TestSleepMidTransmitTruncates(t *testing.T) {
+	// Sleep shares powerDown with TurnOff; the in-flight frame must not
+	// decode either way.
+	k, ch, recs := testChannel(t, pts(0, 0, 100, 0), 250)
+	ch.Radio(0).Transmit(pkt(1000))
+	k.Schedule(0.004, func() { ch.Radio(0).Sleep() })
+	k.Run()
+	if len(recs[1].rx) != 0 {
+		t.Fatal("receiver decoded a frame whose sender slept mid-transmission")
+	}
+	if got := ch.Radio(0).Stats().TxAborted; got != 1 {
+		t.Fatalf("TxAborted = %d, want 1", got)
+	}
+}
+
+func TestLinkCacheFollowsReceiverMove(t *testing.T) {
+	// Invalidation contract (see Channel.MoveTo): a receiver that moves
+	// after a transmitter's link cache was built must be seen at its new
+	// position by the very next transmission.
+	k, ch, recs := testChannel(t, pts(0, 0, 100, 0), 250)
+	ch.Radio(0).Transmit(pkt(100)) // builds node 0's link cache
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatalf("baseline delivery failed: %d frames", len(recs[1].rx))
+	}
+	// Out of range: the cached link to node 1 must not deliver.
+	ch.MoveTo(1, geo.Point{X: 2500, Y: 0})
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatal("moved-away receiver still got a frame from a stale link cache")
+	}
+	// Back in range, different position: delivered again, with the RSSI
+	// of the new distance, not the cached one.
+	ch.MoveTo(1, geo.Point{X: 200, Y: 0})
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 2 {
+		t.Fatal("moved-back receiver missing from the rebuilt link cache")
+	}
+	if want := ch.MeanPowerAt(0, 1); math.Abs(recs[1].rssi[1]-want) > 1e-9 {
+		t.Fatalf("rssi %v, want %v (stale cached power?)", recs[1].rssi[1], want)
+	}
+}
+
+func TestLinkCacheSeesMoveIntoRange(t *testing.T) {
+	// The mirror case: a node absent from the cached receiver set (too
+	// far when the cache was built) moves into range and must appear.
+	k, ch, recs := testChannel(t, pts(0, 0, 2500, 0), 250)
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 0 {
+		t.Fatal("out-of-range receiver decoded a frame")
+	}
+	ch.MoveTo(1, geo.Point{X: 100, Y: 0})
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatal("receiver that moved into range missing from the link cache")
+	}
+}
+
+func TestLinkCacheSurvivesReceiverOffOn(t *testing.T) {
+	// Power state is a radio property, not a link property: a cached
+	// receiver that turns off drops frames at its own radio (DroppedOff),
+	// and receives again after TurnOn without any cache rebuild.
+	k, ch, recs := testChannel(t, pts(0, 0, 100, 0), 250)
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatalf("baseline delivery failed: %d frames", len(recs[1].rx))
+	}
+	ch.Radio(1).TurnOff()
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 1 {
+		t.Fatal("off receiver decoded a frame")
+	}
+	if got := ch.Radio(1).Stats().DroppedOff; got != 1 {
+		t.Fatalf("DroppedOff = %d, want 1 (cache must still schedule the delivery)", got)
+	}
+	ch.Radio(1).TurnOn()
+	ch.Radio(0).Transmit(pkt(100))
+	k.Run()
+	if len(recs[1].rx) != 2 {
+		t.Fatal("receiver did not receive after TurnOn")
+	}
+}

@@ -13,6 +13,7 @@ package phy
 import (
 	"fmt"
 
+	"routeless/internal/metrics"
 	"routeless/internal/packet"
 	"routeless/internal/propagation"
 	"routeless/internal/sim"
@@ -89,7 +90,7 @@ type Listener interface {
 	OnTxDone()
 }
 
-// Stats counts PHY-level events for one radio.
+// Stats is the plain-uint64 snapshot view of a radio's counters.
 type Stats struct {
 	TxFrames     uint64 // frames transmitted
 	RxFrames     uint64 // frames delivered to the listener
@@ -98,6 +99,29 @@ type Stats struct {
 	DroppedOff   uint64 // frames that arrived while sleeping or off
 	AbortedByTx  uint64 // receptions aborted by our own transmission
 	AbortedByOff uint64 // receptions aborted by turning the radio off
+	TxAborted    uint64 // own transmissions truncated by power-down
+	Truncated    uint64 // decodable frames lost to the sender's power-down
+	SignalStarts uint64 // leading edges that entered in-air tracking
+	SignalEnds   uint64 // trailing edges that left in-air tracking
+	FlushedByOff uint64 // tracked in-air signals forgotten by power-down
+}
+
+// radioCounters is the live counter storage behind Stats. Mutation goes
+// through metrics.Counter methods only; the registry sums the per-radio
+// counters into network-wide phy.* series.
+type radioCounters struct {
+	txFrames     metrics.Counter
+	rxFrames     metrics.Counter
+	collisions   metrics.Counter
+	missedWeak   metrics.Counter
+	droppedOff   metrics.Counter
+	abortedByTx  metrics.Counter
+	abortedByOff metrics.Counter
+	txAborted    metrics.Counter
+	truncated    metrics.Counter
+	signalStarts metrics.Counter
+	signalEnds   metrics.Counter
+	flushedByOff metrics.Counter
 }
 
 // signal is one frame in flight at a particular receiver.
@@ -107,6 +131,9 @@ type signal struct {
 	powerMW  float64
 	end      sim.Time
 	tracked  bool
+	// aborted marks a signal whose transmitter powered down mid-frame:
+	// it keeps interfering (the energy was radiated) but never decodes.
+	aborted bool
 }
 
 // Radio is a half-duplex transceiver attached to a Channel.
@@ -131,8 +158,19 @@ type Radio struct {
 	rxCorrupt bool
 	busy      bool // last carrier-sense state reported
 
+	// txLive holds the signals of the transmission currently on the air
+	// (one per scheduled receiver), so a mid-TX power-down can mark them
+	// aborted. Cleared by txDone and powerDown; every trailing edge fires
+	// strictly after txDone (propagation delay > 0), so entries are never
+	// recycled while the transmission is live.
+	txLive []*signal
+	// txEnd is when the current transmission leaves the air; it guards
+	// txDone against a stale completion event from a transmission that a
+	// power-down already truncated.
+	txEnd sim.Time
+
 	energy *Energy
-	stats  Stats
+	stats  radioCounters
 }
 
 // initThresholds caches the linear-domain thresholds. Called at
@@ -155,7 +193,41 @@ func (r *Radio) State() State { return r.state }
 func (r *Radio) Params() Params { return r.params }
 
 // Stats returns a snapshot of the radio's counters.
-func (r *Radio) Stats() Stats { return r.stats }
+func (r *Radio) Stats() Stats {
+	return Stats{
+		TxFrames:     r.stats.txFrames.Value(),
+		RxFrames:     r.stats.rxFrames.Value(),
+		Collisions:   r.stats.collisions.Value(),
+		MissedWeak:   r.stats.missedWeak.Value(),
+		DroppedOff:   r.stats.droppedOff.Value(),
+		AbortedByTx:  r.stats.abortedByTx.Value(),
+		AbortedByOff: r.stats.abortedByOff.Value(),
+		TxAborted:    r.stats.txAborted.Value(),
+		Truncated:    r.stats.truncated.Value(),
+		SignalStarts: r.stats.signalStarts.Value(),
+		SignalEnds:   r.stats.signalEnds.Value(),
+		FlushedByOff: r.stats.flushedByOff.Value(),
+	}
+}
+
+// RegisterMetrics registers the radio's counters and in-flight signal
+// count with the registry; per-radio registrations under the same names
+// sum into network-wide phy.* series.
+func (r *Radio) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("phy.tx_frames", &r.stats.txFrames)
+	reg.Observe("phy.rx_frames", &r.stats.rxFrames)
+	reg.Observe("phy.collisions", &r.stats.collisions)
+	reg.Observe("phy.missed_weak", &r.stats.missedWeak)
+	reg.Observe("phy.dropped_off", &r.stats.droppedOff)
+	reg.Observe("phy.aborted_by_tx", &r.stats.abortedByTx)
+	reg.Observe("phy.aborted_by_off", &r.stats.abortedByOff)
+	reg.Observe("phy.tx_aborted", &r.stats.txAborted)
+	reg.Observe("phy.truncated", &r.stats.truncated)
+	reg.Observe("phy.signal_starts", &r.stats.signalStarts)
+	reg.Observe("phy.signal_ends", &r.stats.signalEnds)
+	reg.Observe("phy.flushed_by_off", &r.stats.flushedByOff)
+	reg.Func("phy.in_air", func() uint64 { return uint64(len(r.inAir)) })
+}
 
 // Energy returns the radio's energy meter.
 func (r *Radio) Energy() *Energy { return r.energy }
@@ -229,15 +301,17 @@ func (r *Radio) Transmit(pkt *packet.Packet) {
 	case StateTx:
 		panic(fmt.Sprintf("phy: %v Transmit while already transmitting", r.id))
 	case StateRx:
-		r.stats.AbortedByTx++
+		r.stats.abortedByTx.Inc()
 		r.rx = nil
 		r.rxCorrupt = false
 	}
 	r.setState(StateTx)
 	r.updateCarrier() // our own transmission makes the medium busy
-	r.stats.TxFrames++
+	r.stats.txFrames.Inc()
 	pkt.From = r.id
 	dur := r.params.AirTime(pkt.Size)
+	r.txLive = r.txLive[:0]
+	r.txEnd = r.kernel.Now() + dur
 	r.channel.transmit(r, pkt, dur)
 	r.kernel.Schedule(dur, r.txDone)
 }
@@ -246,6 +320,10 @@ func (r *Radio) txDone() {
 	if r.state != StateTx { // turned off mid-transmission
 		return
 	}
+	if r.kernel.Now() < r.txEnd { // stale event from a truncated transmission
+		return
+	}
+	r.txLive = r.txLive[:0]
 	r.setState(StateIdle)
 	if r.listener != nil {
 		r.listener.OnTxDone()
@@ -257,27 +335,34 @@ func (r *Radio) txDone() {
 // reaches this radio.
 func (r *Radio) signalStart(s *signal) {
 	if !r.On() {
-		r.stats.DroppedOff++
+		r.stats.droppedOff.Inc()
 		return
 	}
 	s.tracked = true
+	r.stats.signalStarts.Inc()
 	r.inAir = append(r.inAir, s)
 	switch r.state {
 	case StateIdle:
 		if s.powerDBm >= r.params.RxThreshDBm {
-			if r.sinrOK(s) {
+			switch {
+			case !r.sinrOK(s):
+				r.stats.missedWeak.Inc()
+			case s.aborted:
+				// Would have locked, but the sender powered down before
+				// the leading edge arrived: the truncated frame still
+				// interferes but carries nothing decodable.
+				r.stats.truncated.Inc()
+			default:
 				r.rx = s
 				r.rxCorrupt = false
 				r.setState(StateRx)
-			} else {
-				r.stats.MissedWeak++
 			}
 		}
 	case StateRx:
 		if !r.sinrOK(r.rx) {
 			if !r.rxCorrupt {
 				r.rxCorrupt = true
-				r.stats.Collisions++
+				r.stats.collisions.Inc()
 			}
 		}
 	case StateTx:
@@ -290,8 +375,9 @@ func (r *Radio) signalStart(s *signal) {
 // passes this radio.
 func (r *Radio) signalEnd(s *signal) {
 	if !s.tracked {
-		return // arrived while off/asleep, never entered our air state
+		return // arrived while off/asleep, or flushed by our power-down
 	}
+	r.stats.signalEnds.Inc()
 	for i, in := range r.inAir {
 		if in == s {
 			r.inAir[i] = r.inAir[len(r.inAir)-1]
@@ -307,9 +393,15 @@ func (r *Radio) signalEnd(s *signal) {
 			r.setState(StateIdle)
 		}
 		if ok {
-			r.stats.RxFrames++
-			if r.listener != nil {
-				r.listener.OnReceive(s.pkt, s.powerDBm)
+			if s.aborted {
+				// Locked on it, but the sender powered down mid-frame:
+				// the tail never made it onto the air.
+				r.stats.truncated.Inc()
+			} else {
+				r.stats.rxFrames.Inc()
+				if r.listener != nil {
+					r.listener.OnReceive(s.pkt, s.powerDBm)
+				}
 			}
 		}
 	}
@@ -332,10 +424,11 @@ func (r *Radio) updateCarrier() {
 
 // TurnOff models a transceiver failure or a deliberate power-down. Any
 // reception in progress is lost, in-flight signals are forgotten, and a
-// transmission in progress is truncated (receivers of it will still
-// decode it — the channel does not model mid-air truncation; the
-// failure process operates at packet granularity, matching the paper's
-// duty-cycle failure definition).
+// transmission in progress is truncated mid-air: its signals keep
+// interfering at their receivers (the energy already radiated) but are
+// marked aborted and never decode. Energy is charged for the pre-off
+// interval at the pre-off state's draw (setState transitions the meter
+// with the old state).
 func (r *Radio) TurnOff() { r.powerDown(StateOff) }
 
 // Sleep enters the low-power listening-off state; semantics match
@@ -348,12 +441,22 @@ func (r *Radio) powerDown(s State) {
 		return
 	}
 	if r.rx != nil {
-		r.stats.AbortedByOff++
+		r.stats.abortedByOff.Inc()
 		r.rx = nil
 		r.rxCorrupt = false
 	}
+	if r.state == StateTx {
+		// Truncate the transmission in flight: receivers that would have
+		// decoded it count it as truncated instead.
+		r.stats.txAborted.Inc()
+		for _, out := range r.txLive {
+			out.aborted = true
+		}
+		r.txLive = r.txLive[:0]
+	}
 	for _, in := range r.inAir {
 		in.tracked = false
+		r.stats.flushedByOff.Inc()
 	}
 	r.inAir = r.inAir[:0]
 	r.setState(s)

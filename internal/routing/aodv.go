@@ -3,6 +3,7 @@ package routing
 import (
 	"slices"
 
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -69,7 +70,8 @@ func (c AODVConfig) withDefaults() AODVConfig {
 	return c
 }
 
-// AODVStats counts protocol events at one node.
+// AODVStats is the plain-uint64 snapshot view of one node's protocol
+// counters.
 type AODVStats struct {
 	DataSent        uint64
 	DataForwarded   uint64
@@ -85,6 +87,24 @@ type AODVStats struct {
 	RoutesInvalided uint64
 	Rediscoveries   uint64
 	DroppedNoRoute  uint64 // source-side, discovery gave up
+}
+
+// aodvCounters is the live counter storage behind AODVStats.
+type aodvCounters struct {
+	dataSent        metrics.Counter
+	dataForwarded   metrics.Counter
+	dataDelivered   metrics.Counter
+	dataDropped     metrics.Counter
+	rreqSent        metrics.Counter
+	rreqForwarded   metrics.Counter
+	rrepSent        metrics.Counter
+	rrepForwarded   metrics.Counter
+	rerrSent        metrics.Counter
+	hellos          metrics.Counter
+	linkBreaks      metrics.Counter
+	routesInvalided metrics.Counter
+	rediscoveries   metrics.Counter
+	droppedNoRoute  metrics.Counter
 }
 
 // route is one forward-table row.
@@ -131,12 +151,12 @@ type AODV struct {
 	consumed  *packet.DedupCache         // end-to-end dedup of salvaged copies
 	neighbors map[packet.NodeID]sim.Time // last heard
 
-	discovering map[packet.NodeID]*discovery
+	discovering discoverySet
 
 	hello   *sim.Ticker
 	monitor *sim.Ticker
 
-	stats AODVStats
+	stats aodvCounters
 }
 
 // NewAODV builds an instance; install with Network.Install.
@@ -149,7 +169,7 @@ func NewAODV(cfg AODVConfig) *AODV {
 		rreqSeen:    packet.NewDedupCache(8192),
 		consumed:    packet.NewDedupCache(8192),
 		neighbors:   make(map[packet.NodeID]sim.Time),
-		discovering: make(map[packet.NodeID]*discovery),
+		discovering: make(discoverySet),
 	}
 }
 
@@ -167,7 +187,44 @@ func (a *AODV) Start(n *node.Node) {
 }
 
 // Stats returns the node's counters.
-func (a *AODV) Stats() AODVStats { return a.stats }
+func (a *AODV) Stats() AODVStats {
+	s := &a.stats
+	return AODVStats{
+		DataSent:        s.dataSent.Value(),
+		DataForwarded:   s.dataForwarded.Value(),
+		DataDelivered:   s.dataDelivered.Value(),
+		DataDropped:     s.dataDropped.Value(),
+		RREQSent:        s.rreqSent.Value(),
+		RREQForwarded:   s.rreqForwarded.Value(),
+		RREPSent:        s.rrepSent.Value(),
+		RREPForwarded:   s.rrepForwarded.Value(),
+		RERRSent:        s.rerrSent.Value(),
+		Hellos:          s.hellos.Value(),
+		LinkBreaks:      s.linkBreaks.Value(),
+		RoutesInvalided: s.routesInvalided.Value(),
+		Rediscoveries:   s.rediscoveries.Value(),
+		DroppedNoRoute:  s.droppedNoRoute.Value(),
+	}
+}
+
+// RegisterMetrics registers the protocol counters; per-node sources sum
+// into network-wide aodv.* series.
+func (a *AODV) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("aodv.data_sent", &a.stats.dataSent)
+	reg.Observe("aodv.data_forwarded", &a.stats.dataForwarded)
+	reg.Observe("aodv.data_delivered", &a.stats.dataDelivered)
+	reg.Observe("aodv.data_dropped", &a.stats.dataDropped)
+	reg.Observe("aodv.rreq_sent", &a.stats.rreqSent)
+	reg.Observe("aodv.rreq_forwarded", &a.stats.rreqForwarded)
+	reg.Observe("aodv.rrep_sent", &a.stats.rrepSent)
+	reg.Observe("aodv.rrep_forwarded", &a.stats.rrepForwarded)
+	reg.Observe("aodv.rerr_sent", &a.stats.rerrSent)
+	reg.Observe("aodv.hellos", &a.stats.hellos)
+	reg.Observe("aodv.link_breaks", &a.stats.linkBreaks)
+	reg.Observe("aodv.routes_invalided", &a.stats.routesInvalided)
+	reg.Observe("aodv.rediscoveries", &a.stats.rediscoveries)
+	reg.Observe("aodv.dropped_no_route", &a.stats.droppedNoRoute)
+}
 
 // RouteTo reports the current route to target (hops, ok) — test and
 // instrumentation access.
@@ -198,9 +255,9 @@ func (a *AODV) Send(target packet.NodeID, size int) {
 		size = a.cfg.DataSize
 	}
 	now := a.n.Kernel.Now()
-	a.stats.DataSent++
+	a.stats.dataSent.Inc()
 	if target == a.n.ID {
-		a.stats.DataDelivered++
+		a.stats.dataDelivered.Inc()
 		a.n.Deliver(&packet.Packet{Kind: packet.KindData, Origin: a.n.ID, Target: target, Size: size, CreatedAt: now})
 		return
 	}
@@ -215,11 +272,8 @@ func (a *AODV) routeOrDiscover(target packet.NodeID, size int, created sim.Time)
 		a.sendDataVia(r, target, size, created)
 		return
 	}
-	d, ok := a.discovering[target]
-	if !ok {
-		d = &discovery{}
-		d.timer = sim.NewTimer(a.n.Kernel, func() { a.discoveryTimeout(target) })
-		a.discovering[target] = d
+	d, started := a.discovering.ensure(target, a.n.Kernel, func() { a.discoveryTimeout(target) })
+	if started {
 		a.floodRREQRing(target, a.ringTTL(0))
 		d.timer.Reset(a.cfg.DiscoveryTimeout)
 	}
@@ -254,7 +308,7 @@ func (a *AODV) ringTTL(attempt int) int {
 
 func (a *AODV) floodRREQRing(target packet.NodeID, ttl int) {
 	a.rreqID++
-	a.stats.RREQSent++
+	a.stats.rreqSent.Inc()
 	pkt := &packet.Packet{
 		Kind: packet.KindRREQ, To: packet.Broadcast,
 		Origin: a.n.ID, Target: target, Seq: a.rreqID,
@@ -267,24 +321,33 @@ func (a *AODV) floodRREQRing(target packet.NodeID, ttl int) {
 }
 
 func (a *AODV) discoveryTimeout(target packet.NodeID) {
-	d, ok := a.discovering[target]
-	if !ok {
+	// A usable route may exist even though no RREP was addressed to us:
+	// an overheard RREQ from the target or a forwarded RREP installs one
+	// without triggering the success path. Flush through it instead of
+	// re-flooding or dropping queued data next to a valid route.
+	if r := a.validRoute(target); r != nil {
+		for _, pd := range a.discovering.succeed(target) {
+			a.sendDataVia(r, target, pd.size, pd.created)
+		}
+		a.flushSalvage(target)
 		return
 	}
-	d.retries++
-	if d.retries > a.cfg.MaxDiscoveryRetries {
-		a.stats.DroppedNoRoute += uint64(len(d.queue) + len(a.salvage[target]))
+	d, retry := a.discovering.step(target, a.cfg.MaxDiscoveryRetries)
+	if d == nil {
+		return
+	}
+	if !retry {
+		a.stats.droppedNoRoute.Add(uint64(len(d.queue) + len(a.salvage[target])))
 		delete(a.salvage, target)
-		delete(a.discovering, target)
 		return
 	}
-	a.stats.Rediscoveries++
+	a.stats.rediscoveries.Inc()
 	a.floodRREQRing(target, a.ringTTL(d.retries))
 	d.timer.Reset(a.cfg.DiscoveryTimeout)
 }
 
 func (a *AODV) sendHello() {
-	a.stats.Hellos++
+	a.stats.hellos.Inc()
 	a.n.MAC.Enqueue(&packet.Packet{
 		Kind: packet.KindHello, To: packet.Broadcast,
 		Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeHello,
@@ -305,7 +368,7 @@ func (a *AODV) checkNeighbors() {
 	slices.Sort(dead)
 	for _, id := range dead {
 		delete(a.neighbors, id)
-		a.stats.LinkBreaks++
+		a.stats.linkBreaks.Inc()
 		a.invalidateVia(id)
 	}
 }
@@ -317,7 +380,7 @@ func (a *AODV) invalidateVia(hop packet.NodeID) {
 	for dest, r := range a.routes {
 		if r.nextHop == hop {
 			delete(a.routes, dest)
-			a.stats.RoutesInvalided++
+			a.stats.routesInvalided.Inc()
 			lost = append(lost, dest)
 		}
 	}
@@ -325,7 +388,7 @@ func (a *AODV) invalidateVia(hop packet.NodeID) {
 		// The neighbor itself is unreachable as a destination too.
 		if _, ok := a.routes[hop]; ok {
 			delete(a.routes, hop)
-			a.stats.RoutesInvalided++
+			a.stats.routesInvalided.Inc()
 		}
 		lost = append(lost, hop)
 	}
@@ -333,7 +396,7 @@ func (a *AODV) invalidateVia(hop packet.NodeID) {
 		return
 	}
 	slices.Sort(lost)
-	a.stats.RERRSent++
+	a.stats.rerrSent.Inc()
 	a.n.MAC.Enqueue(&packet.Packet{
 		Kind: packet.KindRERR, To: packet.Broadcast,
 		Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeControl,
@@ -389,7 +452,7 @@ func (a *AODV) handleRREQ(pkt *packet.Packet) {
 		if rev == nil {
 			return
 		}
-		a.stats.RREPSent++
+		a.stats.rrepSent.Inc()
 		a.n.MAC.Enqueue(&packet.Packet{
 			Kind: packet.KindRREP, To: rev.nextHop,
 			Origin: a.n.ID, Target: pkt.Origin, Seq: pkt.Seq,
@@ -410,7 +473,7 @@ func (a *AODV) handleRREQ(pkt *packet.Packet) {
 	fwd.TTL--
 	backoff := sim.Time(a.n.Rng.Float64()) * a.cfg.RREQBackoff
 	a.n.Kernel.Schedule(backoff, func() {
-		a.stats.RREQForwarded++
+		a.stats.rreqForwarded.Inc()
 		a.n.MAC.Enqueue(fwd, 0)
 	})
 }
@@ -421,15 +484,11 @@ func (a *AODV) handleRREP(pkt *packet.Packet) {
 	a.installRoute(pkt.Origin, pkt.From, pkt.HopCount, info.destSeq)
 	if pkt.Target == a.n.ID {
 		// Discovery complete: release queued and salvaged data.
-		if d, ok := a.discovering[pkt.Origin]; ok {
-			d.timer.Stop()
-			delete(a.discovering, pkt.Origin)
-			for _, pd := range d.queue {
-				if r := a.validRoute(pkt.Origin); r != nil {
-					a.sendDataVia(r, pkt.Origin, pd.size, pd.created)
-				} else {
-					a.stats.DroppedNoRoute++
-				}
+		for _, pd := range a.discovering.succeed(pkt.Origin) {
+			if r := a.validRoute(pkt.Origin); r != nil {
+				a.sendDataVia(r, pkt.Origin, pd.size, pd.created)
+			} else {
+				a.stats.droppedNoRoute.Inc()
 			}
 		}
 		a.flushSalvage(pkt.Origin)
@@ -445,7 +504,7 @@ func (a *AODV) handleRREP(pkt *packet.Packet) {
 	if fwd.TTL--; fwd.TTL <= 0 {
 		return
 	}
-	a.stats.RREPForwarded++
+	a.stats.rrepForwarded.Inc()
 	a.n.MAC.Enqueue(fwd, 0)
 }
 
@@ -458,12 +517,12 @@ func (a *AODV) handleRERR(pkt *packet.Packet) {
 	for _, dest := range info.unreachable {
 		if r, ok := a.routes[dest]; ok && r.nextHop == pkt.From {
 			delete(a.routes, dest)
-			a.stats.RoutesInvalided++
+			a.stats.routesInvalided.Inc()
 			propagate = append(propagate, dest)
 		}
 	}
 	if len(propagate) > 0 {
-		a.stats.RERRSent++
+		a.stats.rerrSent.Inc()
 		a.n.MAC.Enqueue(&packet.Packet{
 			Kind: packet.KindRERR, To: packet.Broadcast,
 			Origin: a.n.ID, Seq: a.nextSeq(), Size: packet.SizeControl,
@@ -477,7 +536,7 @@ func (a *AODV) handleData(pkt *packet.Packet) {
 		// Salvaged copies of one logical packet can arrive over two
 		// paths; deliver only the first.
 		if !a.consumed.Seen(pkt.Key()) {
-			a.stats.DataDelivered++
+			a.stats.dataDelivered.Inc()
 			a.n.Deliver(pkt)
 		}
 		return
@@ -494,11 +553,11 @@ func (a *AODV) handleData(pkt *packet.Packet) {
 	fwd.To = r.nextHop
 	fwd.HopCount++
 	if fwd.TTL--; fwd.TTL <= 0 {
-		a.stats.DataDropped++
+		a.stats.dataDropped.Inc()
 		return
 	}
 	r.expiry = a.n.Kernel.Now() + a.cfg.RouteLifetime
-	a.stats.DataForwarded++
+	a.stats.dataForwarded.Inc()
 	a.n.MAC.Enqueue(fwd, 0)
 }
 
@@ -521,14 +580,14 @@ func (a *AODV) OnSent(pkt *packet.Packet) {}
 // retries toward pkt.To — treat the link as broken immediately (faster
 // than waiting for hello loss).
 func (a *AODV) OnUnicastFailed(pkt *packet.Packet) {
-	a.stats.LinkBreaks++
+	a.stats.linkBreaks.Inc()
 	delete(a.neighbors, pkt.To)
 	a.invalidateVia(pkt.To)
 	// Salvage data packets — originated here or being forwarded — by
 	// re-routing them through a fresh route (or discovery), keeping
 	// their original headers so end-to-end delay stays honest.
 	if pkt.Kind == packet.KindData && pkt.Target != a.n.ID {
-		a.stats.Rediscoveries++
+		a.stats.rediscoveries.Inc()
 		a.salvageData(pkt)
 	}
 }
@@ -540,20 +599,18 @@ func (a *AODV) salvageData(pkt *packet.Packet) {
 		fwd := pkt.Clone()
 		fwd.To = r.nextHop
 		fwd.UID = 0 // a new frame, not an ARQ duplicate
-		a.stats.DataForwarded++
+		a.stats.dataForwarded.Inc()
 		a.n.MAC.Enqueue(fwd, 0)
 		return
 	}
 	list := a.salvage[pkt.Target]
 	if len(list) >= 16 {
-		a.stats.DataDropped++ // bounded salvage buffer
+		a.stats.dataDropped.Inc() // bounded salvage buffer
 		return
 	}
 	a.salvage[pkt.Target] = append(list, pkt.Clone())
-	if _, ok := a.discovering[pkt.Target]; !ok {
-		d := &discovery{}
-		d.timer = sim.NewTimer(a.n.Kernel, func() { a.discoveryTimeout(pkt.Target) })
-		a.discovering[pkt.Target] = d
+	d, started := a.discovering.ensure(pkt.Target, a.n.Kernel, func() { a.discoveryTimeout(pkt.Target) })
+	if started {
 		a.floodRREQRing(pkt.Target, a.ringTTL(0))
 		d.timer.Reset(a.cfg.DiscoveryTimeout)
 	}

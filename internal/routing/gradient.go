@@ -2,6 +2,7 @@ package routing
 
 import (
 	"routeless/internal/core"
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -45,7 +46,8 @@ func (c GradientConfig) withDefaults() GradientConfig {
 	return c
 }
 
-// GradientStats counts events at one node.
+// GradientStats is the plain-uint64 snapshot view of one node's
+// counters.
 type GradientStats struct {
 	DataSent          uint64
 	DataDelivered     uint64
@@ -56,6 +58,19 @@ type GradientStats struct {
 	RepliesSent       uint64
 	DroppedNoRoute    uint64
 	TTLDrops          uint64
+}
+
+// gradientCounters is the live counter storage behind GradientStats.
+type gradientCounters struct {
+	dataSent          metrics.Counter
+	dataDelivered     metrics.Counter
+	forwards          metrics.Counter
+	notCloserDrops    metrics.Counter
+	discoveriesSent   metrics.Counter
+	discoveryForwards metrics.Counter
+	repliesSent       metrics.Counter
+	droppedNoRoute    metrics.Counter
+	ttlDrops          metrics.Counter
 }
 
 // Gradient is the §4.4 comparison protocol (after Poor's Gradient
@@ -74,10 +89,10 @@ type Gradient struct {
 	floodDedup  *packet.DedupCache
 	fwdDedup    *packet.DedupCache
 	consumed    *packet.DedupCache
-	discovering map[packet.NodeID]*discovery
+	discovering discoverySet
 	discPolicy  core.BackoffPolicy
 
-	stats GradientStats
+	stats gradientCounters
 }
 
 // NewGradient builds an instance; install with Network.Install.
@@ -89,7 +104,7 @@ func NewGradient(cfg GradientConfig) *Gradient {
 		floodDedup:  packet.NewDedupCache(8192),
 		fwdDedup:    packet.NewDedupCache(8192),
 		consumed:    packet.NewDedupCache(8192),
-		discovering: make(map[packet.NodeID]*discovery),
+		discovering: make(discoverySet),
 		discPolicy:  core.Uniform{Max: cfg.DiscoveryBackoff},
 	}
 }
@@ -98,7 +113,38 @@ func NewGradient(cfg GradientConfig) *Gradient {
 func (g *Gradient) Start(n *node.Node) { g.n = n }
 
 // Stats returns the node's counters.
-func (g *Gradient) Stats() GradientStats { return g.stats }
+func (g *Gradient) Stats() GradientStats {
+	s := &g.stats
+	return GradientStats{
+		DataSent:          s.dataSent.Value(),
+		DataDelivered:     s.dataDelivered.Value(),
+		Forwards:          s.forwards.Value(),
+		NotCloserDrops:    s.notCloserDrops.Value(),
+		DiscoveriesSent:   s.discoveriesSent.Value(),
+		DiscoveryForwards: s.discoveryForwards.Value(),
+		RepliesSent:       s.repliesSent.Value(),
+		DroppedNoRoute:    s.droppedNoRoute.Value(),
+		TTLDrops:          s.ttlDrops.Value(),
+	}
+}
+
+// RegisterMetrics registers the protocol counters; per-node sources sum
+// into network-wide gradient.* series.
+func (g *Gradient) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("gradient.data_sent", &g.stats.dataSent)
+	reg.Observe("gradient.data_delivered", &g.stats.dataDelivered)
+	reg.Observe("gradient.forwards", &g.stats.forwards)
+	reg.Observe("gradient.not_closer_drops", &g.stats.notCloserDrops)
+	reg.Observe("gradient.discoveries_sent", &g.stats.discoveriesSent)
+	reg.Observe("gradient.discovery_forwards", &g.stats.discoveryForwards)
+	reg.Observe("gradient.replies_sent", &g.stats.repliesSent)
+	reg.Observe("gradient.dropped_no_route", &g.stats.droppedNoRoute)
+	reg.Observe("gradient.ttl_drops", &g.stats.ttlDrops)
+}
+
+// Table exposes the gradient table (read-mostly; used by tests and
+// experiment instrumentation).
+func (g *Gradient) Table() *ActiveTable { return g.table }
 
 // Send implements node.Protocol.
 func (g *Gradient) Send(target packet.NodeID, size int) {
@@ -106,9 +152,9 @@ func (g *Gradient) Send(target packet.NodeID, size int) {
 		size = g.cfg.DataSize
 	}
 	now := g.n.Kernel.Now()
-	g.stats.DataSent++
+	g.stats.dataSent.Inc()
 	if target == g.n.ID {
-		g.stats.DataDelivered++
+		g.stats.dataDelivered.Inc()
 		g.n.Deliver(&packet.Packet{Kind: packet.KindData, Origin: g.n.ID, Target: target, Size: size, CreatedAt: now})
 		return
 	}
@@ -116,11 +162,8 @@ func (g *Gradient) Send(target packet.NodeID, size int) {
 		g.sendData(target, size, now)
 		return
 	}
-	d, ok := g.discovering[target]
-	if !ok {
-		d = &discovery{}
-		d.timer = sim.NewTimer(g.n.Kernel, func() { g.discoveryTimeout(target) })
-		g.discovering[target] = d
+	d, started := g.discovering.ensure(target, g.n.Kernel, func() { g.discoveryTimeout(target) })
+	if started {
 		g.floodDiscovery(target)
 		d.timer.Reset(g.cfg.DiscoveryTimeout)
 	}
@@ -146,19 +189,27 @@ func (g *Gradient) floodDiscovery(target packet.NodeID) {
 		CreatedAt: g.n.Kernel.Now(),
 	}
 	g.floodDedup.Seen(pkt.Key())
-	g.stats.DiscoveriesSent++
+	g.stats.discoveriesSent.Inc()
 	g.n.MAC.Enqueue(pkt, 0)
 }
 
 func (g *Gradient) discoveryTimeout(target packet.NodeID) {
-	d, ok := g.discovering[target]
-	if !ok {
+	// The gradient may have been learned passively from overheard
+	// traffic even though the reply never reached us; if so the
+	// discovery has succeeded — flush instead of re-flooding or
+	// dropping the queue next to a usable gradient.
+	if g.table.Hops(target) >= 0 {
+		for _, pd := range g.discovering.succeed(target) {
+			g.sendData(target, pd.size, pd.created)
+		}
 		return
 	}
-	d.retries++
-	if d.retries > g.cfg.MaxDiscoveryRetries {
-		g.stats.DroppedNoRoute += uint64(len(d.queue))
-		delete(g.discovering, target)
+	d, retry := g.discovering.step(target, g.cfg.MaxDiscoveryRetries)
+	if d == nil {
+		return
+	}
+	if !retry {
+		g.stats.droppedNoRoute.Add(uint64(len(d.queue)))
 		return
 	}
 	g.floodDiscovery(target)
@@ -177,7 +228,7 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 		if pkt.Target == g.n.ID {
 			// Establish the reverse gradient with a reply that flows
 			// back down the just-built gradient.
-			g.stats.RepliesSent++
+			g.stats.repliesSent.Inc()
 			g.n.MAC.Enqueue(&packet.Packet{
 				Kind: packet.KindReply, To: packet.Broadcast,
 				Origin: g.n.ID, Target: pkt.Origin, Seq: g.nextSeq(),
@@ -187,7 +238,7 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 			return
 		}
 		if pkt.TTL <= 1 {
-			g.stats.TTLDrops++
+			g.stats.ttlDrops.Inc()
 			return
 		}
 		backoff, _ := g.discPolicy.Backoff(core.Context{Rand: g.n.Rng})
@@ -196,7 +247,7 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 		fwd.HopCount++
 		fwd.TTL--
 		g.n.Kernel.Schedule(backoff, func() {
-			g.stats.DiscoveryForwards++
+			g.stats.discoveryForwards.Inc()
 			g.n.MAC.Enqueue(fwd, 0)
 		})
 	case packet.KindReply, packet.KindData:
@@ -205,12 +256,10 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 		if pkt.Target == g.n.ID {
 			if !g.consumed.Seen(key) {
 				if pkt.Kind == packet.KindData {
-					g.stats.DataDelivered++
+					g.stats.dataDelivered.Inc()
 					g.n.Deliver(pkt)
-				} else if d, ok := g.discovering[pkt.Origin]; ok {
-					d.timer.Stop()
-					delete(g.discovering, pkt.Origin)
-					for _, pd := range d.queue {
+				} else {
+					for _, pd := range g.discovering.succeed(pkt.Origin) {
 						g.sendData(pkt.Origin, pd.size, pd.created)
 					}
 				}
@@ -221,12 +270,12 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 			return // each node retransmits a packet at most once
 		}
 		if pkt.TTL <= 1 {
-			g.stats.TTLDrops++
+			g.stats.ttlDrops.Inc()
 			return
 		}
 		h := g.table.Hops(pkt.Target)
 		if h < 0 || h >= pkt.ExpectedHops {
-			g.stats.NotCloserDrops++
+			g.stats.notCloserDrops.Inc()
 			return // only strictly closer nodes forward
 		}
 		fwd := pkt.Clone()
@@ -236,7 +285,7 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 		fwd.ExpectedHops = h
 		backoff := sim.Time(g.n.Rng.Float64()) * g.cfg.Backoff
 		g.n.Kernel.Schedule(backoff, func() {
-			g.stats.Forwards++
+			g.stats.forwards.Inc()
 			g.n.MAC.Enqueue(fwd, float64(backoff))
 		})
 	}

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"routeless/internal/core"
+	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
 	"routeless/internal/sim"
@@ -118,7 +119,8 @@ func (c RoutelessConfig) withDefaults() RoutelessConfig {
 	return c
 }
 
-// RoutelessStats counts protocol events at one node.
+// RoutelessStats is the plain-uint64 snapshot view of one node's
+// counters.
 type RoutelessStats struct {
 	DataSent            uint64
 	DataDelivered       uint64
@@ -140,6 +142,30 @@ type RoutelessStats struct {
 	Abstains            uint64 // elections skipped for lack of a gradient
 	TTLDrops            uint64
 	DroppedNoRoute      uint64 // data dropped after discovery gave up
+}
+
+// routelessCounters is the live counter storage behind RoutelessStats.
+type routelessCounters struct {
+	dataSent            metrics.Counter
+	dataDelivered       metrics.Counter
+	discoveriesSent     metrics.Counter
+	discoveryForwards   metrics.Counter
+	discoveryCancelled  metrics.Counter
+	dupDiscovery        metrics.Counter
+	repliesSent         metrics.Counter
+	repliesReceived     metrics.Counter
+	relays              metrics.Counter
+	retransmissions     metrics.Counter
+	relayGiveUps        metrics.Counter
+	cancelledByOverhear metrics.Counter
+	cancelledByAck      metrics.Counter
+	arbiterAcks         metrics.Counter
+	targetAcks          metrics.Counter
+	reAcks              metrics.Counter
+	staleDrops          metrics.Counter
+	abstains            metrics.Counter
+	ttlDrops            metrics.Counter
+	droppedNoRoute      metrics.Counter
 }
 
 type relayPhase uint8
@@ -168,11 +194,6 @@ type relayState struct {
 	created   sim.Time
 }
 
-type pendingData struct {
-	size    int
-	created sim.Time
-}
-
 // discForward tracks one pending discovery rebroadcast so that a
 // duplicate overheard in time can cancel it (counter-1 suppression).
 type discForward struct {
@@ -180,12 +201,6 @@ type discForward struct {
 	fwd     *packet.Packet
 	queued  bool
 	created sim.Time
-}
-
-type discovery struct {
-	timer   *sim.Timer
-	retries int
-	queue   []pendingData
 }
 
 // Routeless is one node's Routeless Routing instance (§4.1). It keeps
@@ -202,7 +217,7 @@ type Routeless struct {
 	consumed    *packet.DedupCache
 	relays      map[packet.FlowKey]*relayState
 	discPending map[packet.FlowKey]*discForward
-	discovering map[packet.NodeID]*discovery
+	discovering discoverySet
 
 	policy     core.BackoffPolicy // hop gradient for reply/data
 	discPolicy core.BackoffPolicy // uniform for discovery floods
@@ -220,7 +235,7 @@ type Routeless struct {
 	// protocol studies.
 	OnEvent func(ev string, key packet.FlowKey, hop int)
 
-	stats RoutelessStats
+	stats routelessCounters
 }
 
 // NewRouteless builds an instance; install with Network.Install.
@@ -243,7 +258,7 @@ func NewRouteless(cfg RoutelessConfig) *Routeless {
 		consumed:    packet.NewDedupCache(8192),
 		relays:      make(map[packet.FlowKey]*relayState),
 		discPending: make(map[packet.FlowKey]*discForward),
-		discovering: make(map[packet.NodeID]*discovery),
+		discovering: make(discoverySet),
 		policy:      policy,
 		discPolicy:  core.Uniform{Max: cfg.DiscoveryBackoff},
 	}
@@ -257,7 +272,56 @@ func (r *Routeless) Start(n *node.Node) {
 }
 
 // Stats returns the node's counters.
-func (r *Routeless) Stats() RoutelessStats { return r.stats }
+func (r *Routeless) Stats() RoutelessStats {
+	s := &r.stats
+	return RoutelessStats{
+		DataSent:            s.dataSent.Value(),
+		DataDelivered:       s.dataDelivered.Value(),
+		DiscoveriesSent:     s.discoveriesSent.Value(),
+		DiscoveryForwards:   s.discoveryForwards.Value(),
+		DiscoveryCancelled:  s.discoveryCancelled.Value(),
+		DupDiscovery:        s.dupDiscovery.Value(),
+		RepliesSent:         s.repliesSent.Value(),
+		RepliesReceived:     s.repliesReceived.Value(),
+		Relays:              s.relays.Value(),
+		Retransmissions:     s.retransmissions.Value(),
+		RelayGiveUps:        s.relayGiveUps.Value(),
+		CancelledByOverhear: s.cancelledByOverhear.Value(),
+		CancelledByAck:      s.cancelledByAck.Value(),
+		ArbiterAcks:         s.arbiterAcks.Value(),
+		TargetAcks:          s.targetAcks.Value(),
+		ReAcks:              s.reAcks.Value(),
+		StaleDrops:          s.staleDrops.Value(),
+		Abstains:            s.abstains.Value(),
+		TTLDrops:            s.ttlDrops.Value(),
+		DroppedNoRoute:      s.droppedNoRoute.Value(),
+	}
+}
+
+// RegisterMetrics registers the protocol counters; per-node sources sum
+// into network-wide rr.* series.
+func (r *Routeless) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("rr.data_sent", &r.stats.dataSent)
+	reg.Observe("rr.data_delivered", &r.stats.dataDelivered)
+	reg.Observe("rr.discoveries_sent", &r.stats.discoveriesSent)
+	reg.Observe("rr.discovery_forwards", &r.stats.discoveryForwards)
+	reg.Observe("rr.discovery_cancelled", &r.stats.discoveryCancelled)
+	reg.Observe("rr.dup_discovery", &r.stats.dupDiscovery)
+	reg.Observe("rr.replies_sent", &r.stats.repliesSent)
+	reg.Observe("rr.replies_received", &r.stats.repliesReceived)
+	reg.Observe("rr.relays", &r.stats.relays)
+	reg.Observe("rr.retransmissions", &r.stats.retransmissions)
+	reg.Observe("rr.relay_give_ups", &r.stats.relayGiveUps)
+	reg.Observe("rr.cancelled_by_overhear", &r.stats.cancelledByOverhear)
+	reg.Observe("rr.cancelled_by_ack", &r.stats.cancelledByAck)
+	reg.Observe("rr.arbiter_acks", &r.stats.arbiterAcks)
+	reg.Observe("rr.target_acks", &r.stats.targetAcks)
+	reg.Observe("rr.re_acks", &r.stats.reAcks)
+	reg.Observe("rr.stale_drops", &r.stats.staleDrops)
+	reg.Observe("rr.abstains", &r.stats.abstains)
+	reg.Observe("rr.ttl_drops", &r.stats.ttlDrops)
+	reg.Observe("rr.dropped_no_route", &r.stats.droppedNoRoute)
+}
 
 func (r *Routeless) event(ev string, key packet.FlowKey, hop int) {
 	if r.OnEvent != nil {
@@ -277,8 +341,8 @@ func (r *Routeless) Send(target packet.NodeID, size int) {
 	}
 	now := r.n.Kernel.Now()
 	if target == r.n.ID {
-		r.stats.DataSent++
-		r.stats.DataDelivered++
+		r.stats.dataSent.Inc()
+		r.stats.dataDelivered.Inc()
 		r.n.Deliver(&packet.Packet{Kind: packet.KindData, Origin: r.n.ID, Target: target, Size: size, CreatedAt: now})
 		return
 	}
@@ -286,11 +350,8 @@ func (r *Routeless) Send(target packet.NodeID, size int) {
 		r.sendData(target, size, now)
 		return
 	}
-	d, ok := r.discovering[target]
-	if !ok {
-		d = &discovery{}
-		d.timer = sim.NewTimer(r.n.Kernel, func() { r.discoveryTimeout(target) })
-		r.discovering[target] = d
+	d, started := r.discovering.ensure(target, r.n.Kernel, func() { r.discoveryTimeout(target) })
+	if started {
 		r.floodDiscovery(target)
 		d.timer.Reset(r.cfg.DiscoveryTimeout)
 	}
@@ -321,7 +382,7 @@ func (r *Routeless) sendData(target packet.NodeID, size int, created sim.Time) {
 		HopCount: 1, ExpectedHops: h - 1,
 		TTL: r.pathBudget(h), Size: size, CreatedAt: created,
 	}
-	r.stats.DataSent++
+	r.stats.dataSent.Inc()
 	r.originate(pkt)
 }
 
@@ -338,7 +399,7 @@ func (r *Routeless) sendReply(source packet.NodeID) {
 		HopCount: 1, ExpectedHops: h - 1,
 		TTL: r.pathBudget(h), Size: packet.SizeControl, CreatedAt: r.n.Kernel.Now(),
 	}
-	r.stats.RepliesSent++
+	r.stats.repliesSent.Inc()
 	r.originate(pkt)
 }
 
@@ -376,19 +437,28 @@ func (r *Routeless) floodDiscovery(target packet.NodeID) {
 		Size: packet.SizeControl, CreatedAt: r.n.Kernel.Now(),
 	}
 	r.floodDedup.Seen(pkt.Key())
-	r.stats.DiscoveriesSent++
+	r.stats.discoveriesSent.Inc()
 	r.n.MAC.Enqueue(pkt, 0)
 }
 
 func (r *Routeless) discoveryTimeout(target packet.NodeID) {
-	d, ok := r.discovering[target]
-	if !ok {
+	// The reply may have been lost while the gradient was still learned
+	// passively (the table observes every overheard packet from the
+	// target). If a gradient exists now, the discovery has effectively
+	// succeeded: flush the queue through the normal send path instead of
+	// re-flooding or mis-counting the data as routeless.
+	if r.table.Hops(target) >= 0 {
+		for _, pd := range r.discovering.succeed(target) {
+			r.sendData(target, pd.size, pd.created)
+		}
 		return
 	}
-	d.retries++
-	if d.retries > r.cfg.MaxDiscoveryRetries {
-		r.stats.DroppedNoRoute += uint64(len(d.queue))
-		delete(r.discovering, target)
+	d, retry := r.discovering.step(target, r.cfg.MaxDiscoveryRetries)
+	if d == nil {
+		return
+	}
+	if !retry {
+		r.stats.droppedNoRoute.Add(uint64(len(d.queue)))
 		return
 	}
 	r.floodDiscovery(target)
@@ -412,7 +482,7 @@ func (r *Routeless) handleDiscovery(pkt *packet.Packet) {
 	r.table.Observe(pkt.Origin, pkt.HopCount, pkt.Seq, now)
 	key := pkt.Key()
 	if r.floodDedup.Seen(key) {
-		r.stats.DupDiscovery++
+		r.stats.dupDiscovery.Inc()
 		if !r.cfg.PlainDiscovery {
 			// Counter-1 suppression: a duplicate overheard before our
 			// rebroadcast reaches the air cancels it.
@@ -426,7 +496,7 @@ func (r *Routeless) handleDiscovery(pkt *packet.Packet) {
 				}
 				if cancelled {
 					delete(r.discPending, key)
-					r.stats.DiscoveryCancelled++
+					r.stats.discoveryCancelled.Inc()
 				}
 			}
 		}
@@ -437,7 +507,7 @@ func (r *Routeless) handleDiscovery(pkt *packet.Packet) {
 		return
 	}
 	if pkt.TTL <= 1 {
-		r.stats.TTLDrops++
+		r.stats.ttlDrops.Inc()
 		return
 	}
 	backoff, _ := r.discPolicy.Backoff(core.Context{Rand: r.n.Rng})
@@ -448,7 +518,7 @@ func (r *Routeless) handleDiscovery(pkt *packet.Packet) {
 	df := &discForward{fwd: fwd, created: now}
 	df.timer = sim.NewTimer(r.n.Kernel, func() {
 		df.queued = true
-		r.stats.DiscoveryForwards++
+		r.stats.discoveryForwards.Inc()
 		r.n.MAC.Enqueue(fwd, float64(backoff))
 	})
 	r.discPending[key] = df
@@ -469,7 +539,7 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 	// later election. Refuse it entirely.
 	if r.relays[key] == nil && pkt.Target != r.n.ID {
 		if ho := r.table.Hops(pkt.Origin); ho >= 0 && pkt.HopCount > ho+r.cfg.HopSlack {
-			r.stats.StaleDrops++
+			r.stats.staleDrops.Inc()
 			r.event("stale", key, pkt.HopCount)
 			return
 		}
@@ -480,17 +550,17 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 		if !r.consumed.Seen(key) {
 			switch pkt.Kind {
 			case packet.KindData:
-				r.stats.DataDelivered++
+				r.stats.dataDelivered.Inc()
 				r.event("consume", key, pkt.HopCount)
 				r.n.Deliver(pkt)
 			case packet.KindReply:
-				r.stats.RepliesReceived++
+				r.stats.repliesReceived.Inc()
 				r.routeEstablished(pkt.Origin)
 			}
 		}
 		// ACK on every copy: a retransmission means our previous ACK
 		// was missed.
-		r.stats.TargetAcks++
+		r.stats.targetAcks.Inc()
 		r.sendAck(key)
 		return
 	}
@@ -511,7 +581,7 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 			// it is a sibling's relay carrying the packet onward.
 			st.timer.Stop()
 			st.phase = phaseDone
-			r.stats.CancelledByOverhear++
+			r.stats.cancelledByOverhear.Inc()
 			r.event("cancel-oh", key, pkt.HopCount)
 		}
 	case phaseQueued:
@@ -522,13 +592,13 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 			// the air yet.
 			if r.n.MAC.Dequeue(st.inflight) {
 				st.phase = phaseDone
-				r.stats.CancelledByOverhear++
+				r.stats.cancelledByOverhear.Inc()
 				r.event("dequeue", key, pkt.HopCount)
 				if pkt.HopCount > st.txHop {
 					// Only possible for a queued retransmission: our
 					// earlier copy did get relayed downstream — finish
 					// the arbiter duty with an ACK.
-					r.stats.ArbiterAcks++
+					r.stats.arbiterAcks.Inc()
 					r.sendAck(key)
 				}
 			}
@@ -541,7 +611,7 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 			// acknowledge so nodes that missed the relay stand down.
 			st.timer.Stop()
 			st.phase = phaseDone
-			r.stats.ArbiterAcks++
+			r.stats.arbiterAcks.Inc()
 			r.event("ack-tx", key, pkt.HopCount)
 			r.sendAck(key)
 		}
@@ -555,14 +625,14 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 // armRelay enters the election for a freshly seen reply/data packet.
 func (r *Routeless) armRelay(pkt *packet.Packet, rssiDBm float64, key packet.FlowKey, now sim.Time) {
 	if pkt.TTL <= 1 {
-		r.stats.TTLDrops++
+		r.stats.ttlDrops.Inc()
 		return
 	}
 	hops := r.table.Hops(pkt.Target)
 	// Budget check: relaying is pointless if the target cannot be
 	// reached within the packet's remaining hop budget.
 	if hops >= 0 && hops >= pkt.TTL {
-		r.stats.TTLDrops++
+		r.stats.ttlDrops.Inc()
 		r.event("budget", key, pkt.HopCount)
 		return
 	}
@@ -574,7 +644,7 @@ func (r *Routeless) armRelay(pkt *packet.Packet, rssiDBm float64, key packet.Flo
 		Rand:         r.n.Rng,
 	})
 	if !ok {
-		r.stats.Abstains++
+		r.stats.abstains.Inc()
 		r.event("abstain", key, pkt.HopCount)
 		return
 	}
@@ -607,7 +677,7 @@ func (r *Routeless) relayWon(key packet.FlowKey, priority float64) {
 	st.phase = phaseQueued
 	st.txHop = st.fwd.HopCount
 	st.timer = sim.NewTimer(r.n.Kernel, func() { r.relayTimeout(key) })
-	r.stats.Relays++
+	r.stats.relays.Inc()
 	r.event("win", key, st.txHop)
 	r.enqueueRelay(st, priority)
 }
@@ -637,11 +707,11 @@ func (r *Routeless) relayTimeout(key packet.FlowKey) {
 	st.retries++
 	if st.retries > r.cfg.MaxRelayRetries {
 		st.phase = phaseDone
-		r.stats.RelayGiveUps++
+		r.stats.relayGiveUps.Inc()
 		r.event("giveup", key, st.txHop)
 		return
 	}
-	r.stats.Retransmissions++
+	r.stats.retransmissions.Inc()
 	r.event("retransmit", key, st.txHop)
 	st.phase = phaseQueued
 	r.enqueueRelay(st, 0)
@@ -671,12 +741,12 @@ func (r *Routeless) handleAck(pkt *packet.Packet) {
 		// relayed (or arrived); stand down.
 		st.timer.Stop()
 		st.phase = phaseDone
-		r.stats.CancelledByAck++
+		r.stats.cancelledByAck.Inc()
 		r.event("cancel-ack", key, st.armedHop)
 	case phaseQueued:
 		if r.n.MAC.Dequeue(st.inflight) {
 			st.phase = phaseDone
-			r.stats.CancelledByAck++
+			r.stats.cancelledByAck.Inc()
 		}
 	case phaseRelayed:
 		st.timer.Stop()
@@ -718,13 +788,7 @@ func (r *Routeless) ackWindows() []float64 {
 // routeEstablished flushes data queued behind a discovery once the path
 // reply arrives.
 func (r *Routeless) routeEstablished(target packet.NodeID) {
-	d, ok := r.discovering[target]
-	if !ok {
-		return
-	}
-	d.timer.Stop()
-	delete(r.discovering, target)
-	for _, pd := range d.queue {
+	for _, pd := range r.discovering.succeed(target) {
 		r.sendData(target, pd.size, pd.created)
 	}
 }

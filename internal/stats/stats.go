@@ -174,15 +174,38 @@ func (t *Table) NumRows() int { return len(t.rows) }
 // Row returns row i.
 func (t *Table) Row(i int) []string { return t.rows[i] }
 
-// String renders an aligned text table.
+// numCols returns the table's true column count: rows may be wider than
+// Headers (ad-hoc instrumentation appends extra cells), and both
+// renderers pad consistently rather than dropping or misrendering the
+// extras.
+func (t *Table) numCols() int {
+	n := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// cell returns row[i], or "" past the row's end.
+func cell(row []string, i int) string {
+	if i < len(row) {
+		return row[i]
+	}
+	return ""
+}
+
+// String renders an aligned text table. Rows wider than Headers get
+// empty-header columns; rows narrower than the widest get empty cells.
 func (t *Table) String() string {
-	width := make([]int, len(t.Headers))
+	width := make([]int, t.numCols())
 	for i, h := range t.Headers {
 		width[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -193,11 +216,11 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	writeRow := func(cells []string) {
-		for i, c := range cells {
+		for i := range width {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", width[i], c)
+			fmt.Fprintf(&b, "%-*s", width[i], cell(cells, i))
 		}
 		b.WriteByte('\n')
 	}
@@ -216,13 +239,23 @@ func (t *Table) String() string {
 }
 
 // CSV renders the table as comma-separated values (headers included).
+// Every line has the same field count: short rows (and a short header
+// line) are padded with empty fields to the widest row.
 func (t *Table) CSV() string {
+	n := t.numCols()
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, r := range t.rows {
-		b.WriteString(strings.Join(r, ","))
+	writeLine := func(cells []string) {
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(cell(cells, i))
+		}
 		b.WriteByte('\n')
+	}
+	writeLine(t.Headers)
+	for _, r := range t.rows {
+		writeLine(r)
 	}
 	return b.String()
 }

@@ -183,3 +183,30 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", csv, want)
 	}
 }
+
+// Regression: rows wider than Headers used to panic String() (the width
+// slice was sized by Headers but writeRow indexed it by row length) and
+// render ragged CSV. The contract is now padding: the table widens to
+// its widest row, missing headers/cells become empty fields.
+func TestTableRowsWiderThanHeaders(t *testing.T) {
+	tb := NewTable("wide", "a", "b")
+	tb.AddRow(1, 2, 3, "extra")
+	tb.AddRow(4) // narrower than headers, too
+	s := tb.String()
+	for _, want := range []string{"extra", "a", "b"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() dropped %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	want := "a,b,,\n1,2,3,extra\n4,,,\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	for _, ln := range lines {
+		if strings.Count(ln, ",") != 3 {
+			t.Fatalf("ragged CSV line %q", ln)
+		}
+	}
+}
