@@ -109,7 +109,7 @@ func BenchmarkAblationLambda(b *testing.B) {
 // probabilities on the abstract medium.
 func BenchmarkElection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.RunAbl3([]int{2, 10, 50}, 100, 10e-3, 7)
+		rows := experiments.RunAbl3(0, []int{2, 10, 50}, 100, 10e-3, 7)
 		b.ReportMetric(rows[0].SingleLeader, "p-single@2")
 		b.ReportMetric(rows[len(rows)-1].SingleLeader, "p-single@50")
 	}

@@ -8,7 +8,10 @@
 //
 //	simbench                      # full figure set, report to stdout
 //	simbench -quick               # CI subset (fig1, fig3, abl3)
-//	simbench -out BENCH_2.json    # also write the JSON report
+//	simbench -out BENCH_4.json    # also write the JSON report
+//	simbench -workers 4           # sweep worker count for every figure
+//	simbench -scaling 1,2,4,8     # per-figure multicore scaling study
+//	simbench -scaling 1,4 -min-speedup 1.6   # CI scaling gate
 //	simbench -baseline BENCH_2.json -max-regress 0.20
 //	simbench -journal runs.jsonl  # append a JSONL run journal
 //	simbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
@@ -16,6 +19,14 @@
 // With -baseline, per-figure events/sec is compared against the
 // baseline report and the command exits non-zero if any shared figure
 // regressed by more than -max-regress (CI's performance gate).
+//
+// With -scaling, every selected figure is measured once per listed
+// worker count; each figure's report entry records the single-worker
+// measurement plus a scaling series (events/sec, allocs/event, speedup
+// relative to 1 worker). With -min-speedup, the command exits non-zero
+// if the aggregate speedup at the highest worker count falls short —
+// unless GOMAXPROCS is below that worker count, in which case the gate
+// is skipped (a 1-core runner cannot measure parallel speedup).
 //
 // With -journal, the fig1/fig3/fig4 sweeps write one record per run
 // (config, seed, final metric snapshot) and every measured figure adds
@@ -33,6 +44,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"slices"
 	"strings"
 	"time"
 
@@ -49,13 +61,27 @@ type FigureResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Allocs       uint64  `json:"allocs"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
+	// Scaling holds the -scaling study: one point per worker count.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
 }
 
-// Report is the schema of BENCH_2.json.
+// ScalingPoint is one figure's cost at one sweep worker count.
+type ScalingPoint struct {
+	Workers        int     `json:"workers"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Speedup is events/sec relative to this figure's 1-worker point.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the schema of the committed benchmark snapshots
+// (BENCH_2.json, BENCH_4.json).
 type Report struct {
 	GoVersion         string         `json:"go_version"`
 	GOMAXPROCS        int            `json:"gomaxprocs"`
 	Quick             bool           `json:"quick"`
+	Workers           int            `json:"workers,omitempty"`
 	Figures           []FigureResult `json:"figures"`
 	TotalEvents       uint64         `json:"total_events"`
 	TotalWallSeconds  float64        `json:"total_wall_seconds"`
@@ -92,35 +118,46 @@ type figure struct {
 	run   func()
 }
 
-// figures returns the tracked workloads. The journal (nil when off) is
-// threaded only into the figure sweeps that emit per-run records; the
-// ablation reruns keep journal-less configs so their measured cost
-// matches bench_test.go exactly.
-func figures(j *metrics.Journal) []figure {
-	fig1J := func() experiments.Fig1Config { c := fig1Config(); c.Journal = j; return c }
-	fig34J := func() experiments.Fig34Config { c := fig34Config(); c.Journal = j; return c }
+// figures returns the tracked workloads at one sweep worker count. The
+// journal (nil when off) is threaded only into the figure sweeps that
+// emit per-run records; the ablation reruns keep journal-less configs
+// so their measured cost matches bench_test.go exactly.
+func figures(j *metrics.Journal, workers int) []figure {
+	fig1J := func() experiments.Fig1Config {
+		c := fig1Config()
+		c.Journal, c.Workers = j, workers
+		return c
+	}
+	fig34J := func() experiments.Fig34Config {
+		c := fig34Config()
+		c.Journal, c.Workers = j, workers
+		return c
+	}
+	fig1W := func() experiments.Fig1Config { c := fig1Config(); c.Workers = workers; return c }
+	fig34W := func() experiments.Fig34Config { c := fig34Config(); c.Workers = workers; return c }
 	return []figure{
 		{"fig1", true, func() { experiments.RunFig1(fig1J()) }},
 		{"fig2", false, func() {
-			experiments.RunFig2(experiments.Fig2Config{Seed: 3, Nodes: 300, Terrain: 1500, Duration: 30})
+			experiments.RunFig2(experiments.Fig2Config{
+				Seed: 3, Nodes: 300, Terrain: 1500, Duration: 30, Workers: workers})
 		}},
 		{"fig3", true, func() { experiments.RunFig3(fig34J()) }},
 		{"fig4", false, func() { experiments.RunFig4(fig34J()) }},
 		{"abl1", false, func() {
-			cfg := fig1Config()
+			cfg := fig1W()
 			cfg.Intervals = []float64{2}
 			experiments.RunAbl1(cfg)
 		}},
 		{"abl2", false, func() {
-			experiments.RunAbl2(fig34Config(), []sim.Time{5e-3, 50e-3}, 4)
+			experiments.RunAbl2(fig34W(), []sim.Time{5e-3, 50e-3}, 4)
 		}},
-		{"abl3", true, func() { experiments.RunAbl3([]int{2, 10, 50}, 100, 10e-3, 7) }},
+		{"abl3", true, func() { experiments.RunAbl3(workers, []int{2, 10, 50}, 100, 10e-3, 7) }},
 		{"abl4", false, func() {
-			cfg := fig34Config()
+			cfg := fig34W()
 			cfg.Pairs = []int{4}
 			experiments.RunAbl4(cfg)
 		}},
-		{"abl5", false, func() { experiments.RunAbl5(fig34Config(), []float64{0, 0.3}, 4) }},
+		{"abl5", false, func() { experiments.RunAbl5(fig34W(), []float64{0, 0.3}, 4) }},
 	}
 }
 
@@ -182,6 +219,50 @@ func checkRegression(base *Report, cur *Report, maxRegress float64) []string {
 	return failed
 }
 
+// parseScaling parses the -scaling worker list, sorted ascending.
+func parseScaling(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -scaling entry %q (want positive integers)", part)
+		}
+		out = append(out, w)
+	}
+	slices.Sort(out)
+	return out, nil
+}
+
+// aggregateSpeedup computes the whole-suite speedup at the highest
+// scaling worker count: total 1-worker wall time over total wall time at
+// that count. Figures without both points are skipped. ok is false when
+// nothing was measured.
+func aggregateSpeedup(figs []FigureResult, maxW int) (speedup float64, ok bool) {
+	var wall1, wallN float64
+	for _, f := range figs {
+		var w1, wN float64
+		for _, p := range f.Scaling {
+			if p.Workers == 1 {
+				w1 = p.WallSeconds
+			}
+			if p.Workers == maxW {
+				wN = p.WallSeconds
+			}
+		}
+		if w1 > 0 && wN > 0 {
+			wall1 += w1
+			wallN += wN
+		}
+	}
+	if wallN == 0 {
+		return 0, false
+	}
+	return wall1 / wallN, true
+}
+
 // gitRev stamps journal records with the checkout's short commit hash;
 // it returns "" outside a git checkout (the field is then omitted).
 func gitRev() string {
@@ -204,12 +285,21 @@ func run() int {
 		out        = flag.String("out", "", "write the JSON report to this path")
 		baseline   = flag.String("baseline", "", "baseline report to compare events/sec against")
 		maxRegress = flag.Float64("max-regress", 0.20, "fail if events/sec drops by more than this fraction of baseline")
+		workers    = flag.Int("workers", 0, "sweep worker count for every figure (0 = GOMAXPROCS)")
+		scaling    = flag.String("scaling", "", "comma-separated worker counts for a per-figure scaling study, e.g. 1,2,4,8")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail if aggregate speedup at the highest -scaling worker count is below this (0 = no gate)")
 		journalF   = flag.String("journal", "", "append a JSONL run journal to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceF     = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	scalingWorkers, err := parseScaling(*scaling)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -269,14 +359,39 @@ func run() int {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
+		Workers:    *workers,
 	}
-	for _, f := range figures(journal) {
+	// names pairs base-measurement figures with their scaling reruns:
+	// the base pass measures at -workers, then each -scaling count
+	// re-measures the same figure with only the worker count changed.
+	for fi, f := range figures(journal, *workers) {
 		if *quick && !f.quick {
 			continue
 		}
 		r := measure(f)
 		fmt.Printf("%-5s %12d events %8.2fs %12.0f events/sec %12d allocs %12d B\n",
 			r.Name, r.Events, r.WallSeconds, r.EventsPerSec, r.Allocs, r.AllocBytes)
+		for _, w := range scalingWorkers {
+			// Journal off for scaling reruns: record cost, not bytes.
+			sf := figures(nil, w)[fi]
+			sr := measure(sf)
+			p := ScalingPoint{
+				Workers:      w,
+				WallSeconds:  sr.WallSeconds,
+				EventsPerSec: sr.EventsPerSec,
+			}
+			if sr.Events > 0 {
+				p.AllocsPerEvent = float64(sr.Allocs) / float64(sr.Events)
+			}
+			if len(r.Scaling) > 0 && r.Scaling[0].Workers == 1 && r.Scaling[0].EventsPerSec > 0 {
+				p.Speedup = p.EventsPerSec / r.Scaling[0].EventsPerSec
+			} else if w == 1 {
+				p.Speedup = 1
+			}
+			r.Scaling = append(r.Scaling, p)
+			fmt.Printf("      scaling w=%-2d %8.2fs %12.0f events/sec %8.3f allocs/event %6.2fx\n",
+				w, p.WallSeconds, p.EventsPerSec, p.AllocsPerEvent, p.Speedup)
+		}
 		rep.Figures = append(rep.Figures, r)
 		rep.TotalEvents += r.Events
 		rep.TotalWallSeconds += r.WallSeconds
@@ -297,6 +412,25 @@ func run() int {
 	}
 	fmt.Printf("total %12d events %8.2fs %12.0f events/sec\n",
 		rep.TotalEvents, rep.TotalWallSeconds, rep.TotalEventsPerSec)
+
+	gateFailed := false
+	if *minSpeedup > 0 && len(scalingWorkers) > 0 {
+		maxW := scalingWorkers[len(scalingWorkers)-1]
+		if runtime.GOMAXPROCS(0) < maxW {
+			fmt.Printf("scaling gate skipped: GOMAXPROCS=%d < %d workers (cannot measure parallel speedup here)\n",
+				runtime.GOMAXPROCS(0), maxW)
+		} else if sp, ok := aggregateSpeedup(rep.Figures, maxW); !ok {
+			fmt.Fprintln(os.Stderr, "simbench: -min-speedup set but no figure has both 1-worker and max-worker scaling points")
+			gateFailed = true
+		} else {
+			fmt.Printf("aggregate speedup at %d workers: %.2fx (gate %.2fx)\n", maxW, sp, *minSpeedup)
+			if sp < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "simbench: speedup %.2fx at %d workers below required %.2fx\n",
+					sp, maxW, *minSpeedup)
+				gateFailed = true
+			}
+		}
+	}
 
 	var failed []string
 	if *baseline != "" {
@@ -330,6 +464,9 @@ func run() int {
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "simbench: events/sec regression beyond %.0f%% in: %v\n",
 			*maxRegress*100, failed)
+		return 1
+	}
+	if gateFailed {
 		return 1
 	}
 	return 0

@@ -88,7 +88,7 @@ func run() int {
 
 	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
 	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
-	fig2 := experiments.Fig2Config{Seed: seedList[0]}
+	fig2 := experiments.Fig2Config{Seed: seedList[0], Workers: *workers}
 	if !full {
 		// Same node density as the paper, quarter the area.
 		fig1.Nodes, fig1.Terrain = 60, 800
@@ -140,7 +140,7 @@ func run() int {
 		case "abl2":
 			tbl = experiments.Abl2Table(experiments.RunAbl2(fig34, nil, 5))
 		case "abl3":
-			tbl = experiments.Abl3Table(experiments.RunAbl3(nil, 0, 10e-3, seedList[0]))
+			tbl = experiments.Abl3Table(experiments.RunAbl3(*workers, nil, 0, 10e-3, seedList[0]))
 		case "abl4":
 			tbl = experiments.Abl4Table(experiments.RunAbl4(fig34))
 		case "abl5":

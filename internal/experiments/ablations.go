@@ -6,11 +6,11 @@ import (
 	"routeless/internal/geo"
 	"routeless/internal/node"
 	"routeless/internal/packet"
-	"routeless/internal/parallel"
 	"routeless/internal/rng"
 	"routeless/internal/routing"
 	"routeless/internal/sim"
 	"routeless/internal/stats"
+	"routeless/internal/sweep"
 	"routeless/internal/traffic"
 )
 
@@ -26,42 +26,31 @@ type Abl1Row struct {
 // RunAbl1 reuses the Figure 1 rig with the cancellation flag toggled.
 func RunAbl1(cfg Fig1Config) []Abl1Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		interval float64
-		cancel   bool
-		seed     int64
-	}
-	var jobs []job
-	for _, iv := range cfg.Intervals {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{iv, false, s}, job{iv, true, s})
-		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
-		j := jobs[i]
-		return runSSAFOnce(cfg, j.interval, j.cancel, j.seed)
+	cells := sweep.Cells("abl1", len(cfg.Intervals)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) RunMetrics {
+		pi, cancel := versusPoint(c.Point)
+		return runSSAFOnce(ctx, cfg, cfg.Intervals[pi], cancel, c.Seed)
 	})
-	idx := map[float64]int{}
 	rows := make([]Abl1Row, len(cfg.Intervals))
 	for i, iv := range cfg.Intervals {
 		rows[i].Interval = iv
-		idx[iv] = i
 	}
-	for i, j := range jobs {
-		row := &rows[idx[j.interval]]
-		if j.cancel {
-			row.SSAFC.Add(results[i])
+	for i, c := range cells {
+		pi, cancel := versusPoint(c.Point)
+		if cancel {
+			rows[pi].SSAFC.Add(results[i])
 		} else {
-			row.SSAF.Add(results[i])
+			rows[pi].SSAF.Add(results[i])
 		}
 	}
 	return rows
 }
 
-func runSSAFOnce(cfg Fig1Config, interval float64, cancel bool, seed int64) RunMetrics {
+func runSSAFOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, cancel bool, seed int64) RunMetrics {
 	nw := node.New(node.Config{
 		N: cfg.Nodes, Rect: geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range: cfg.Range, Seed: seed, EnsureConnected: true,
+		Runtime: ctx.Runtime(),
 	})
 	minDBm, maxDBm := ssafSpan(cfg.Range)
 	fcfg := flood.SSAFConfig(cfg.Lambda, minDBm, maxDBm)
@@ -122,30 +111,18 @@ func RunAbl2(cfg Fig34Config, lambdas []sim.Time, pairs int) []Abl2Row {
 	if pairs == 0 {
 		pairs = 5
 	}
-	type job struct {
-		lambda sim.Time
-		seed   int64
-	}
-	var jobs []job
-	for _, l := range lambdas {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{l, s})
-		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
-		j := jobs[i]
-		c := cfg
-		c.Lambda = j.lambda
-		return runRoutingOnce(c, ProtoRouteless, pairs, 0, j.seed).RunMetrics
+	cells := sweep.Cells("abl2", len(lambdas), cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) RunMetrics {
+		run := cfg
+		run.Lambda = lambdas[c.Point]
+		return runRoutingOnce(ctx, run, ProtoRouteless, pairs, 0, c.Seed).RunMetrics
 	})
-	idx := map[sim.Time]int{}
 	rows := make([]Abl2Row, len(lambdas))
 	for i, l := range lambdas {
 		rows[i].Lambda = l
-		idx[l] = i
 	}
-	for i, j := range jobs {
-		rows[idx[j.lambda]].RR.Add(results[i])
+	for i, c := range cells {
+		rows[c.Point].RR.Add(results[i])
 	}
 	return rows
 }
@@ -175,62 +152,88 @@ type Abl3Row struct {
 	MeanBroadcasts float64 // announcements + acks + syncs per success
 }
 
+// abl3Out is one trial's outcome as it crosses the sweep boundary.
+type abl3Out struct {
+	single, none, rounds, bcasts float64
+}
+
 // RunAbl3 measures election behavior over `trials` independent cliques
-// per size.
-func RunAbl3(sizes []int, trials int, lambda sim.Time, seed int64) []Abl3Row {
+// per size, one sweep cell per (size, trial).
+func RunAbl3(workers int, sizes []int, trials int, lambda sim.Time, seed int64) []Abl3Row {
 	if len(sizes) == 0 {
 		sizes = []int{2, 5, 10, 20, 50}
 	}
 	if trials == 0 {
 		trials = 200
 	}
+	// Each trial derives its own streams from (seed, size index, trial),
+	// so the cell seed is just the trial index; determinism rides on the
+	// derivation, exactly as the serial loop did.
+	trialSeeds := make([]int64, trials)
+	for i := range trialSeeds {
+		trialSeeds[i] = int64(i)
+	}
+	cells := sweep.Cells("abl3", len(sizes), trialSeeds)
+	results := sweep.Run(workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) abl3Out {
+		return runElectionOnce(ctx, sizes[c.Point], c.Point, c.Rep, lambda, seed)
+	})
 	rows := make([]Abl3Row, len(sizes))
 	for si, n := range sizes {
-		var single, none, rounds, bcasts float64
-		for trial := 0; trial < trials; trial++ {
-			k := sim.NewKernel(rng.Derive(seed, uint64(si), uint64(trial)))
-			// Message latency comparable to λ/4 makes near-ties collide,
-			// like real airtime does.
-			cl := core.NewCluster(k, n+1, lambda/4, lambda/20, 0,
-				rng.New(seed, rng.StreamElection, uint64(si), uint64(trial)))
-			cl.ConnectAll()
-			electors := make([]*core.Elector, n)
-			for i := 0; i < n; i++ {
-				electors[i] = core.NewElector(k, packet.NodeID(i), cl, core.Uniform{Max: lambda})
-				cl.AttachElector(electors[i])
-			}
-			arb := core.NewArbiter(k, packet.NodeID(n), cl, lambda*4)
-			arb.MaxRetries = 20
-			cl.AttachArbiter(arb)
-			arb.Trigger()
-			k.Run()
-			countEvents(k)
-			winners := 0
-			for _, e := range electors {
-				if o := e.Current(); o.Won && o.Round == 1 {
-					winners++
-				}
-			}
-			switch {
-			case winners == 1:
-				single++
-			case winners == 0 || arb.Leader() == packet.None:
-				none++
-			}
-			if arb.Leader() != packet.None {
-				rounds += float64(arb.Stats().Triggers)
-			}
-			bcasts += float64(cl.Stats().Broadcasts)
-		}
-		rows[si] = Abl3Row{
-			Nodes:          n,
-			SingleLeader:   single / float64(trials),
-			NoLeader:       none / float64(trials),
-			MeanRounds:     rounds / float64(trials),
-			MeanBroadcasts: bcasts / float64(trials),
-		}
+		rows[si].Nodes = n
+	}
+	for i, c := range cells {
+		r := &rows[c.Point]
+		r.SingleLeader += results[i].single
+		r.NoLeader += results[i].none
+		r.MeanRounds += results[i].rounds
+		r.MeanBroadcasts += results[i].bcasts
+	}
+	for si := range rows {
+		rows[si].SingleLeader /= float64(trials)
+		rows[si].NoLeader /= float64(trials)
+		rows[si].MeanRounds /= float64(trials)
+		rows[si].MeanBroadcasts /= float64(trials)
 	}
 	return rows
+}
+
+// runElectionOnce runs one clique trial on the abstract medium.
+func runElectionOnce(ctx *sweep.Context, n, si, trial int, lambda sim.Time, seed int64) abl3Out {
+	k := sim.NewKernelPooled(rng.Derive(seed, uint64(si), uint64(trial)), ctx.Runtime().Events)
+	// Message latency comparable to λ/4 makes near-ties collide,
+	// like real airtime does.
+	cl := core.NewCluster(k, n+1, lambda/4, lambda/20, 0,
+		rng.New(seed, rng.StreamElection, uint64(si), uint64(trial)))
+	cl.ConnectAll()
+	electors := make([]*core.Elector, n)
+	for i := 0; i < n; i++ {
+		electors[i] = core.NewElector(k, packet.NodeID(i), cl, core.Uniform{Max: lambda})
+		cl.AttachElector(electors[i])
+	}
+	arb := core.NewArbiter(k, packet.NodeID(n), cl, lambda*4)
+	arb.MaxRetries = 20
+	cl.AttachArbiter(arb)
+	arb.Trigger()
+	k.Run()
+	countEvents(k)
+	var out abl3Out
+	winners := 0
+	for _, e := range electors {
+		if o := e.Current(); o.Won && o.Round == 1 {
+			winners++
+		}
+	}
+	switch {
+	case winners == 1:
+		out.single = 1
+	case winners == 0 || arb.Leader() == packet.None:
+		out.none = 1
+	}
+	if arb.Leader() != packet.None {
+		out.rounds = float64(arb.Stats().Triggers)
+	}
+	out.bcasts = float64(cl.Stats().Broadcasts)
+	return out
 }
 
 // Abl3Table renders the election study.
@@ -257,33 +260,25 @@ type Abl4Row struct {
 // RunAbl4 reuses the Figure 3 rig with Gradient Routing in AODV's seat.
 func RunAbl4(cfg Fig34Config) []Abl4Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		pairs int
-		proto RoutingProto
-		seed  int64
-	}
-	var jobs []job
-	for _, p := range cfg.Pairs {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{p, ProtoRouteless, s}, job{p, ProtoGradient, s})
+	cells := sweep.Cells("abl4", len(cfg.Pairs)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) RunMetrics {
+		pi, grad := versusPoint(c.Point)
+		proto := ProtoRouteless
+		if grad {
+			proto = ProtoGradient
 		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
-		j := jobs[i]
-		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed).RunMetrics
+		return runRoutingOnce(ctx, cfg, proto, cfg.Pairs[pi], 0, c.Seed).RunMetrics
 	})
-	idx := map[int]int{}
 	rows := make([]Abl4Row, len(cfg.Pairs))
 	for i, p := range cfg.Pairs {
 		rows[i].Pairs = p
-		idx[p] = i
 	}
-	for i, j := range jobs {
-		row := &rows[idx[j.pairs]]
-		if j.proto == ProtoGradient {
-			row.Gradient.Add(results[i])
+	for i, c := range cells {
+		pi, grad := versusPoint(c.Point)
+		if grad {
+			rows[pi].Gradient.Add(results[i])
 		} else {
-			row.Routeless.Add(results[i])
+			rows[pi].Routeless.Add(results[i])
 		}
 	}
 	return rows
@@ -328,36 +323,25 @@ func RunAbl5(cfg Fig34Config, fractions []float64, pairs int) []Abl5Row {
 	if pairs == 0 {
 		pairs = 5
 	}
-	type job struct {
-		frac float64
-		seed int64
-	}
-	var jobs []job
-	for _, f := range fractions {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{f, s})
-		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
-		j := jobs[i]
-		return runSleepOnce(cfg, pairs, j.frac, j.seed)
+	cells := sweep.Cells("abl5", len(fractions), cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) RunMetrics {
+		return runSleepOnce(ctx, cfg, pairs, fractions[c.Point], c.Seed)
 	})
-	idx := map[float64]int{}
 	rows := make([]Abl5Row, len(fractions))
 	for i, f := range fractions {
 		rows[i].SleepFraction = f
-		idx[f] = i
 	}
-	for i, j := range jobs {
-		rows[idx[j.frac]].RR.Add(results[i])
+	for i, c := range cells {
+		rows[c.Point].RR.Add(results[i])
 	}
 	return rows
 }
 
-func runSleepOnce(cfg Fig34Config, pairs int, frac float64, seed int64) RunMetrics {
+func runSleepOnce(ctx *sweep.Context, cfg Fig34Config, pairs int, frac float64, seed int64) RunMetrics {
 	nw := node.New(node.Config{
 		N: cfg.Nodes, Rect: geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range: cfg.Range, Seed: seed, EnsureConnected: true,
+		Runtime: ctx.Runtime(),
 	})
 	nw.Install(func(n *node.Node) node.Protocol {
 		return routing.NewRouteless(routing.RoutelessConfig{Lambda: cfg.Lambda})
@@ -424,42 +408,31 @@ type Abl6Row struct {
 // RunAbl6 runs both variants on the Figure 3 rig.
 func RunAbl6(cfg Fig34Config) []Abl6Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		pairs  int
-		signal bool
-		seed   int64
-	}
-	var jobs []job
-	for _, p := range cfg.Pairs {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{p, false, s}, job{p, true, s})
-		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) RunMetrics {
-		j := jobs[i]
-		return runSignalTieOnce(cfg, j.pairs, j.signal, j.seed)
+	cells := sweep.Cells("abl6", len(cfg.Pairs)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) RunMetrics {
+		pi, signal := versusPoint(c.Point)
+		return runSignalTieOnce(ctx, cfg, cfg.Pairs[pi], signal, c.Seed)
 	})
-	idx := map[int]int{}
 	rows := make([]Abl6Row, len(cfg.Pairs))
 	for i, p := range cfg.Pairs {
 		rows[i].Pairs = p
-		idx[p] = i
 	}
-	for i, j := range jobs {
-		row := &rows[idx[j.pairs]]
-		if j.signal {
-			row.SignalTie.Add(results[i])
+	for i, c := range cells {
+		pi, signal := versusPoint(c.Point)
+		if signal {
+			rows[pi].SignalTie.Add(results[i])
 		} else {
-			row.Pure.Add(results[i])
+			rows[pi].Pure.Add(results[i])
 		}
 	}
 	return rows
 }
 
-func runSignalTieOnce(cfg Fig34Config, pairs int, signal bool, seed int64) RunMetrics {
+func runSignalTieOnce(ctx *sweep.Context, cfg Fig34Config, pairs int, signal bool, seed int64) RunMetrics {
 	nw := node.New(node.Config{
 		N: cfg.Nodes, Rect: geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range: cfg.Range, Seed: seed, EnsureConnected: true,
+		Runtime: ctx.Runtime(),
 	})
 	rcfg := routing.RoutelessConfig{Lambda: cfg.Lambda, SignalTieBreak: signal}
 	nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })

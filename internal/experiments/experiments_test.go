@@ -188,7 +188,7 @@ func TestAbl2LambdaTradeoff(t *testing.T) {
 type sim2 = simTime
 
 func TestAbl3ElectionScaling(t *testing.T) {
-	rows := RunAbl3([]int{2, 20}, 120, 10e-3, 7)
+	rows := RunAbl3(0, []int{2, 20}, 120, 10e-3, 7)
 	small, big := rows[0], rows[1]
 	if small.SingleLeader <= big.SingleLeader {
 		t.Fatalf("single-leader probability should fall with crowd size: %v vs %v",

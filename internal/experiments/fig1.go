@@ -7,12 +7,12 @@ import (
 	"routeless/internal/geo"
 	"routeless/internal/metrics"
 	"routeless/internal/node"
-	"routeless/internal/parallel"
 	"routeless/internal/phy"
 	"routeless/internal/propagation"
 	"routeless/internal/rng"
 	"routeless/internal/sim"
 	"routeless/internal/stats"
+	"routeless/internal/sweep"
 	"routeless/internal/traffic"
 )
 
@@ -27,7 +27,7 @@ type Fig1Config struct {
 	Intervals   []float64 // x-axis, seconds; default 0.5..10
 	Duration    float64   // traffic seconds per run; default 30
 	Seeds       []int64   // replications; default {1,2,3}
-	Workers     int       // parallelism; default GOMAXPROCS
+	Workers     int       `json:"-"` // parallelism; default GOMAXPROCS
 	Lambda      sim.Time  // SSAF λ and counter-1 max backoff; default 10 ms
 	DataSize    int       // flooded payload bytes; default 64
 
@@ -79,52 +79,45 @@ type Fig1Row struct {
 	SSAF     Agg
 }
 
+// fig1Point decodes the flattened x-axis: each interval contributes a
+// counter-1 point (even) and an SSAF point (odd).
+func fig1Point(cfg Fig1Config, point int) (interval float64, ssaf bool) {
+	return cfg.Intervals[point/2], point%2 == 1
+}
+
 // RunFig1 sweeps the packet generation interval for both flooding
-// variants across all seeds, in parallel.
+// variants across all seeds through the sweep engine.
 func RunFig1(cfg Fig1Config) []Fig1Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		interval float64
-		ssaf     bool
-		seed     int64
-	}
-	var jobs []job
-	for _, iv := range cfg.Intervals {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{iv, false, s}, job{iv, true, s})
-		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
-		j := jobs[i]
-		return runFloodOnce(cfg, j.interval, j.ssaf, j.seed)
+	cells := sweep.Cells("fig1", len(cfg.Intervals)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) runOut {
+		interval, ssaf := fig1Point(cfg, c.Point)
+		return runFloodOnce(ctx, cfg, interval, ssaf, c.Seed)
 	})
 	rows := make([]Fig1Row, len(cfg.Intervals))
 	for i, iv := range cfg.Intervals {
 		rows[i].Interval = iv
 	}
-	idx := map[float64]int{}
-	for i, iv := range cfg.Intervals {
-		idx[iv] = i
-	}
-	for i, j := range jobs {
-		row := &rows[idx[j.interval]]
-		if j.ssaf {
+	for i, c := range cells {
+		row := &rows[c.Point/2]
+		if _, ssaf := fig1Point(cfg, c.Point); ssaf {
 			row.SSAF.Add(results[i].RunMetrics)
 		} else {
 			row.Counter1.Add(results[i].RunMetrics)
 		}
 	}
 	if cfg.Journal != nil {
-		for i, j := range jobs {
+		for i, c := range cells {
+			interval, ssaf := fig1Point(cfg, c.Point)
 			variant := "counter1"
-			if j.ssaf {
+			if ssaf {
 				variant = "ssaf"
 			}
 			// A write failure sticks on the journal; callers check Err once.
 			_ = cfg.Journal.Write(metrics.Record{
 				Experiment: "fig1",
-				Label:      fmt.Sprintf("%s interval=%g", variant, j.interval),
-				Seed:       j.seed,
+				Label:      fmt.Sprintf("%s interval=%g", variant, interval),
+				Seed:       c.Seed,
 				Config:     cfg,
 				Metrics:    results[i].snap,
 			})
@@ -144,13 +137,14 @@ func ssafSpan(rangeM float64) (minDBm, maxDBm float64) {
 	return
 }
 
-func runFloodOnce(cfg Fig1Config, interval float64, ssaf bool, seed int64) runOut {
+func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf bool, seed int64) runOut {
 	nw := node.New(node.Config{
 		N:               cfg.Nodes,
 		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range:           cfg.Range,
 		Seed:            seed,
 		EnsureConnected: true,
+		Runtime:         ctx.Runtime(),
 	})
 	var fcfg flood.Config
 	if ssaf {

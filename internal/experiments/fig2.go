@@ -11,6 +11,7 @@ import (
 	"routeless/internal/routing"
 	"routeless/internal/sim"
 	"routeless/internal/stats"
+	"routeless/internal/sweep"
 	"routeless/internal/trace"
 	"routeless/internal/traffic"
 )
@@ -29,6 +30,7 @@ type Fig2Config struct {
 	CrossInterval float64  // C→D CBR interval, default 0.05 s (saturating)
 	CrossSize     int      // C→D payload bytes, default 512 (long airtime)
 	Lambda        sim.Time // Routeless λ, default 10 ms
+	Workers       int      `json:"-"` // parallelism across the two scenarios; default GOMAXPROCS
 }
 
 func (c Fig2Config) withDefaults() Fig2Config {
@@ -86,28 +88,32 @@ type Fig2Result struct {
 	DeliveredWithCross uint64
 }
 
-// RunFig2 runs both scenarios.
+// RunFig2 runs both scenarios — two sweep cells over the same seed, so
+// they execute concurrently when workers allow.
 func RunFig2(cfg Fig2Config) Fig2Result {
 	cfg = cfg.withDefaults()
-	alone, posAlone, a1, b1, _, _, delivered1 := runFig2Scenario(cfg, false)
-	cross, posCross, a2, b2, c2, d2, delivered2 := runFig2Scenario(cfg, true)
-	if a1 != a2 || b1 != b2 {
+	cells := sweep.Cells("fig2", 2, []int64{cfg.Seed})
+	outs := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) fig2Out {
+		return runFig2Scenario(ctx, cfg, c.Point == 1)
+	})
+	alone, cross := outs[0], outs[1]
+	if alone.a != cross.a || alone.b != cross.b {
 		panic("experiments: fig2 scenarios diverged on endpoints")
 	}
-	for i := range posAlone {
-		if posAlone[i] != posCross[i] {
+	for i := range alone.positions {
+		if alone.positions[i] != cross.positions[i] {
 			panic("experiments: fig2 scenarios diverged on topology")
 		}
 	}
 	res := Fig2Result{
-		Config: cfg, Positions: posCross,
-		A: a1, B: b1, C: c2, D: d2,
-		Alone: alone, WithCross: cross,
-		DeliveredAlone: delivered1, DeliveredWithCross: delivered2,
+		Config: cfg, Positions: cross.positions,
+		A: alone.a, B: alone.b, C: cross.c, D: cross.d,
+		Alone: alone.paths, WithCross: cross.paths,
+		DeliveredAlone: alone.delivered, DeliveredWithCross: cross.delivered,
 	}
 	center := geo.Point{X: cfg.Terrain / 2, Y: cfg.Terrain / 2}
-	res.CenterShareAlone, res.MeanCenterDistAlone = centerUsage(alone, a1, posCross, center, cfg.Terrain/4)
-	res.CenterShareWithCross, res.MeanCenterDistWithCross = centerUsage(cross, a1, posCross, center, cfg.Terrain/4)
+	res.CenterShareAlone, res.MeanCenterDistAlone = centerUsage(alone.paths, alone.a, cross.positions, center, cfg.Terrain/4)
+	res.CenterShareWithCross, res.MeanCenterDistWithCross = centerUsage(cross.paths, alone.a, cross.positions, center, cfg.Terrain/4)
 	return res
 }
 
@@ -134,13 +140,22 @@ func centerUsage(c *trace.PathCollector, origin packet.NodeID, pos []geo.Point, 
 	return float64(inside) / float64(total), distSum / float64(total)
 }
 
-func runFig2Scenario(cfg Fig2Config, withCross bool) (*trace.PathCollector, []geo.Point, packet.NodeID, packet.NodeID, packet.NodeID, packet.NodeID, uint64) {
+// fig2Out is one scenario's outcome as it crosses the sweep boundary.
+type fig2Out struct {
+	paths      *trace.PathCollector
+	positions  []geo.Point
+	a, b, c, d packet.NodeID
+	delivered  uint64
+}
+
+func runFig2Scenario(ctx *sweep.Context, cfg Fig2Config, withCross bool) fig2Out {
 	nw := node.New(node.Config{
 		N:               cfg.Nodes,
 		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range:           cfg.Range,
 		Seed:            cfg.Seed,
 		EnsureConnected: true,
+		Runtime:         ctx.Runtime(),
 	})
 	collector := trace.NewPathCollector()
 	// A generous path budget lets packets swing wide around the
@@ -187,7 +202,12 @@ func runFig2Scenario(cfg Fig2Config, withCross bool) (*trace.PathCollector, []ge
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
 	countEvents(nw.Kernel)
-	return collector, positions, packet.NodeID(a), packet.NodeID(b), packet.NodeID(c), packet.NodeID(d), delivered
+	return fig2Out{
+		paths: collector, positions: positions,
+		a: packet.NodeID(a), b: packet.NodeID(b),
+		c: packet.NodeID(c), d: packet.NodeID(d),
+		delivered: delivered,
+	}
 }
 
 func nearestNode(nw *node.Network, p geo.Point) int {

@@ -7,11 +7,11 @@ import (
 	"routeless/internal/metrics"
 	"routeless/internal/node"
 	"routeless/internal/packet"
-	"routeless/internal/parallel"
 	"routeless/internal/rng"
 	"routeless/internal/routing"
 	"routeless/internal/sim"
 	"routeless/internal/stats"
+	"routeless/internal/sweep"
 	"routeless/internal/traffic"
 )
 
@@ -36,7 +36,7 @@ type Fig34Config struct {
 	Interval float64  // CBR interval per direction, default 1 s
 	Duration float64  // traffic seconds, default 60
 	Seeds    []int64  // default {1,2,3}
-	Workers  int      // default GOMAXPROCS
+	Workers  int      `json:"-"` // default GOMAXPROCS
 	Lambda   sim.Time // Routeless λ, default 10 ms
 	DataSize int      // CBR payload bytes; default 64
 
@@ -95,13 +95,14 @@ func (c Fig34Config) withDefaults() Fig34Config {
 // runRoutingOnce builds a network, installs the protocol, starts
 // bidirectional CBR over `pairs` connections, injects duty-cycle
 // failures on non-endpoint nodes, and measures.
-func runRoutingOnce(cfg Fig34Config, proto RoutingProto, pairs int, failurePct float64, seed int64) runOut {
+func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pairs int, failurePct float64, seed int64) runOut {
 	nw := node.New(node.Config{
 		N:               cfg.Nodes,
 		Rect:            geo.NewRect(cfg.Terrain, cfg.Terrain),
 		Range:           cfg.Range,
 		Seed:            seed,
 		EnsureConnected: true,
+		Runtime:         ctx.Runtime(),
 	})
 	switch proto {
 	case ProtoRouteless:
@@ -164,45 +165,47 @@ type Fig3Row struct {
 	Routeless Agg
 }
 
+// versusPoint decodes the shared two-protocol x-axis flattening used by
+// Figures 3 and 4 (and the ablations that reuse their rigs): even
+// points are the baseline protocol, odd points the challenger.
+func versusPoint(point int) (idx int, challenger bool) { return point / 2, point%2 == 1 }
+
 // RunFig3 sweeps the number of communicating pairs with no failures.
 func RunFig3(cfg Fig34Config) []Fig3Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		pairs int
-		proto RoutingProto
-		seed  int64
-	}
-	var jobs []job
-	for _, p := range cfg.Pairs {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{p, ProtoAODV, s}, job{p, ProtoRouteless, s})
+	cells := sweep.Cells("fig3", len(cfg.Pairs)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) runOut {
+		pi, rr := versusPoint(c.Point)
+		proto := ProtoAODV
+		if rr {
+			proto = ProtoRouteless
 		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
-		j := jobs[i]
-		return runRoutingOnce(cfg, j.proto, j.pairs, 0, j.seed)
+		return runRoutingOnce(ctx, cfg, proto, cfg.Pairs[pi], 0, c.Seed)
 	})
-	idx := map[int]int{}
 	rows := make([]Fig3Row, len(cfg.Pairs))
 	for i, p := range cfg.Pairs {
 		rows[i].Pairs = p
-		idx[p] = i
 	}
-	for i, j := range jobs {
-		row := &rows[idx[j.pairs]]
-		if j.proto == ProtoAODV {
-			row.AODV.Add(results[i].RunMetrics)
+	for i, c := range cells {
+		pi, rr := versusPoint(c.Point)
+		if rr {
+			rows[pi].Routeless.Add(results[i].RunMetrics)
 		} else {
-			row.Routeless.Add(results[i].RunMetrics)
+			rows[pi].AODV.Add(results[i].RunMetrics)
 		}
 	}
 	if cfg.Journal != nil {
-		for i, j := range jobs {
+		for i, c := range cells {
+			pi, rr := versusPoint(c.Point)
+			proto := ProtoAODV
+			if rr {
+				proto = ProtoRouteless
+			}
 			// A write failure sticks on the journal; callers check Err once.
 			_ = cfg.Journal.Write(metrics.Record{
 				Experiment: "fig3",
-				Label:      fmt.Sprintf("%s pairs=%d", j.proto, j.pairs),
-				Seed:       j.seed,
+				Label:      fmt.Sprintf("%s pairs=%d", proto, cfg.Pairs[pi]),
+				Seed:       c.Seed,
 				Config:     cfg,
 				Metrics:    results[i].snap,
 			})
@@ -242,42 +245,39 @@ type Fig4Row struct {
 // RunFig4 sweeps the node-failure percentage at a fixed pair count.
 func RunFig4(cfg Fig34Config) []Fig4Row {
 	cfg = cfg.withDefaults()
-	type job struct {
-		pct   float64
-		proto RoutingProto
-		seed  int64
-	}
-	var jobs []job
-	for _, pct := range cfg.FailurePcts {
-		for _, s := range cfg.Seeds {
-			jobs = append(jobs, job{pct, ProtoAODV, s}, job{pct, ProtoRouteless, s})
+	cells := sweep.Cells("fig4", len(cfg.FailurePcts)*2, cfg.Seeds)
+	results := sweep.Run(cfg.Workers, cells, func(ctx *sweep.Context, i int, c sweep.Cell) runOut {
+		pi, rr := versusPoint(c.Point)
+		proto := ProtoAODV
+		if rr {
+			proto = ProtoRouteless
 		}
-	}
-	results := parallel.Map(cfg.Workers, len(jobs), func(i int) runOut {
-		j := jobs[i]
-		return runRoutingOnce(cfg, j.proto, cfg.Fig4Pairs, j.pct, j.seed)
+		return runRoutingOnce(ctx, cfg, proto, cfg.Fig4Pairs, cfg.FailurePcts[pi], c.Seed)
 	})
-	idx := map[float64]int{}
 	rows := make([]Fig4Row, len(cfg.FailurePcts))
 	for i, pct := range cfg.FailurePcts {
 		rows[i].FailurePct = pct
-		idx[pct] = i
 	}
-	for i, j := range jobs {
-		row := &rows[idx[j.pct]]
-		if j.proto == ProtoAODV {
-			row.AODV.Add(results[i].RunMetrics)
+	for i, c := range cells {
+		pi, rr := versusPoint(c.Point)
+		if rr {
+			rows[pi].Routeless.Add(results[i].RunMetrics)
 		} else {
-			row.Routeless.Add(results[i].RunMetrics)
+			rows[pi].AODV.Add(results[i].RunMetrics)
 		}
 	}
 	if cfg.Journal != nil {
-		for i, j := range jobs {
+		for i, c := range cells {
+			pi, rr := versusPoint(c.Point)
+			proto := ProtoAODV
+			if rr {
+				proto = ProtoRouteless
+			}
 			// A write failure sticks on the journal; callers check Err once.
 			_ = cfg.Journal.Write(metrics.Record{
 				Experiment: "fig4",
-				Label:      fmt.Sprintf("%s failure=%g", j.proto, j.pct),
-				Seed:       j.seed,
+				Label:      fmt.Sprintf("%s failure=%g", proto, cfg.FailurePcts[pi]),
+				Seed:       c.Seed,
 				Config:     cfg,
 				Metrics:    results[i].snap,
 			})

@@ -38,6 +38,31 @@ func TestFig1JournalSameSeedBitwiseIdentical(t *testing.T) {
 	}
 }
 
+// TestFig1JournalWorkerCountInvariant pins the sweep engine's core
+// promise end to end: journal bytes and the rendered table are
+// bitwise-identical whether the sweep ran serially or on eight workers.
+func TestFig1JournalWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) (journal []byte, csv string) {
+		var buf bytes.Buffer
+		cfg := tinyFig1()
+		cfg.Workers = workers
+		cfg.Journal = metrics.NewJournal(&buf)
+		rows := RunFig1(cfg)
+		if err := cfg.Journal.Err(); err != nil {
+			t.Fatalf("journal write failed: %v", err)
+		}
+		return buf.Bytes(), Fig1Table(rows).CSV()
+	}
+	j1, csv1 := run(1)
+	j8, csv8 := run(8)
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("worker count changed journal bytes:\nworkers=1: %s\nworkers=8: %s", j1, j8)
+	}
+	if csv1 != csv8 {
+		t.Fatalf("worker count changed table CSV:\nworkers=1:\n%s\nworkers=8:\n%s", csv1, csv8)
+	}
+}
+
 func TestFig1JournalMatchesGolden(t *testing.T) {
 	got := runTinyFig1Journal(t)
 	golden := filepath.Join("testdata", "fig1_tiny.journal.jsonl")

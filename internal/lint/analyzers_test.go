@@ -425,3 +425,130 @@ func good(t *tally) { t.hits++ }`,
 		},
 	})
 }
+
+func TestSharedCap(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches package-level var in parallel.ForEach closure", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "routeless/internal/parallel"
+var total int
+func bad() {
+	parallel.ForEach(4, 10, func(i int) { total += i })
+}`,
+			want: []string{"package-level var total"},
+		},
+		{
+			name: "catches package-level var in parallel.Map closure, once per var", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "routeless/internal/parallel"
+var hits [8]int
+func bad() {
+	parallel.Map(4, 8, func(i int) int {
+		hits[i]++
+		return hits[i]
+	})
+}`,
+			want: []string{"package-level var hits"},
+		},
+		{
+			name: "catches captured runtime pool in sweep.Run closure", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"routeless/internal/node"
+	"routeless/internal/sweep"
+)
+func bad() {
+	shared := node.NewRuntime()
+	sweep.Run(4, sweep.Cells("f", 1, []int64{1}), func(ctx *sweep.Context, i int, c sweep.Cell) int {
+		_ = shared
+		return i
+	})
+}`,
+			want: []string{"captures *node.Runtime shared"},
+		},
+		{
+			name: "catches captured event pool under explicit instantiation", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"routeless/internal/sim"
+	"routeless/internal/sweep"
+)
+func bad() {
+	pool := sim.NewEventPool()
+	sweep.Run[int](4, sweep.Cells("f", 1, []int64{1}), func(ctx *sweep.Context, i int, c sweep.Cell) int {
+		_ = pool
+		return i
+	})
+}`,
+			want: []string{"captures *sim.EventPool pool"},
+		},
+		{
+			name: "catches captured journal in sweep.Run closure", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"io"
+	"routeless/internal/metrics"
+	"routeless/internal/sweep"
+)
+func bad(w io.Writer) {
+	j := metrics.NewJournal(w)
+	sweep.Run(4, sweep.Cells("f", 1, []int64{1}), func(ctx *sweep.Context, i int, c sweep.Cell) int {
+		j.Write(metrics.Record{Experiment: "f"})
+		return i
+	})
+}`,
+			want: []string{"captures *metrics.Journal j"},
+		},
+		{
+			name: "clean: per-worker runtime from the context", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "routeless/internal/sweep"
+func good() {
+	sweep.Run(4, sweep.Cells("f", 1, []int64{1}), func(ctx *sweep.Context, i int, c sweep.Cell) int {
+		rt := ctx.Runtime()
+		_ = rt
+		return i
+	})
+}`,
+		},
+		{
+			name: "clean: sync and atomic values exist to be shared", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"sync/atomic"
+	"routeless/internal/parallel"
+)
+var counter atomic.Uint64
+func good() {
+	parallel.ForEach(4, 10, func(i int) { counter.Add(1) })
+}`,
+		},
+		{
+			name: "clean: locals and parameters are worker-scoped work", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "routeless/internal/parallel"
+func good(inputs []int) []int {
+	return parallel.Map(4, len(inputs), func(i int) int { return inputs[i] * 2 })
+}`,
+		},
+		{
+			name: "test files may capture freely", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix_test.go",
+			src: `package fix
+import "routeless/internal/parallel"
+var total int
+func helper() {
+	parallel.ForEach(4, 10, func(i int) { total += i })
+}`,
+		},
+	})
+}

@@ -7,18 +7,20 @@ import (
 )
 
 // Goroutine forbids `go` statements and sync / sync/atomic imports in
-// every internal/ package except internal/parallel. The DES kernel is
-// sequential by design: causality is the event heap's total order, and
-// determinism depends on it. Concurrency belongs one level up, across
-// independent runs, which is exactly what internal/parallel provides.
+// every internal/ package except the two worker-pool engines. The DES
+// kernel is sequential by design: causality is the event heap's total
+// order, and determinism depends on it. Concurrency belongs one level
+// up, across independent runs — which is exactly what
+// internal/parallel (the goroutine pool) and internal/sweep (the cell
+// scheduler on top of it) provide.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel); the kernel is sequential",
+	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel and internal/sweep); the kernel is sequential",
 	Run:  runGoroutine,
 }
 
 func runGoroutine(p *Pass) {
-	if !p.InInternal() || isParallelPkg(p.Path) {
+	if !p.InInternal() || isWorkerPoolPkg(p.Path) {
 		return
 	}
 	for _, f := range p.Files {
@@ -28,7 +30,7 @@ func runGoroutine(p *Pass) {
 				continue
 			}
 			if path == "sync" || path == "sync/atomic" {
-				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel may coordinate goroutines)", path)
+				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel and internal/sweep may coordinate goroutines)", path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -40,6 +42,7 @@ func runGoroutine(p *Pass) {
 	}
 }
 
-func isParallelPkg(path string) bool {
-	return strings.HasSuffix(path, "/internal/parallel") || path == "internal/parallel"
+func isWorkerPoolPkg(path string) bool {
+	return strings.HasSuffix(path, "/internal/parallel") || path == "internal/parallel" ||
+		strings.HasSuffix(path, "/internal/sweep") || path == "internal/sweep"
 }

@@ -255,5 +255,6 @@ func All() []*Analyzer {
 		FloatEq,
 		SortPkg,
 		StatsMut,
+		SharedCap,
 	}
 }

@@ -26,6 +26,13 @@ type Record struct {
 // Journal appends Records as JSON Lines to a writer. Encoding uses only
 // structs and slices (never maps), so the byte stream is deterministic
 // for deterministic inputs.
+//
+// A Journal is single-writer and not safe for concurrent use. In a
+// parallel sweep, records must be written after the merge, in cell
+// order — writing from inside a worker closure would make record order
+// depend on the goroutine schedule and break the byte-identical-at-
+// any-worker-count contract. The sharedcap lint rule flags a Journal
+// captured into a sweep worker closure for exactly this reason.
 type Journal struct {
 	w   io.Writer
 	err error

@@ -160,7 +160,10 @@ type law struct {
 
 // Registry holds the metric set of one simulation. It is not safe for
 // concurrent use — the simulation is single-threaded per kernel, and
-// parallel experiment sweeps build one registry per network.
+// parallel experiment sweeps build one registry per network. A
+// Registry captured into a sweep worker closure from the enclosing
+// scope is flagged by the sharedcap lint rule: every worker would
+// mutate one shared metric set concurrently.
 type Registry struct {
 	entries []*entry
 	index   map[string]int

@@ -40,6 +40,32 @@ type Config struct {
 	// until the unit-disk graph is connected, matching the paper's
 	// implicit assumption that flooding reaches every node.
 	EnsureConnected bool
+	// Runtime, when non-nil, supplies externally owned reusable
+	// allocation state (event free list, phy pools, range cache) — a
+	// sweep worker's run context. Nil builds private state with
+	// identical behavior; reuse changes allocation counts only, never
+	// results.
+	Runtime *Runtime
+}
+
+// Runtime is the reusable allocation state one sweep worker owns: the
+// kernel event free list, the phy signal/delivery pools, and the
+// cross-model range cache. A Runtime warms up on a worker's first run
+// and makes every later run on that worker allocate less; it must
+// never be shared between networks that run concurrently.
+type Runtime struct {
+	Events *sim.EventPool
+	Phy    *phy.Pools
+	Ranges *propagation.SharedRangeCache
+}
+
+// NewRuntime returns a fresh runtime with empty pools.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		Events: sim.NewEventPool(),
+		Phy:    phy.NewPools(),
+		Ranges: propagation.NewSharedRangeCache(),
+	}
 }
 
 // Network is a fully assembled simulation: kernel, channel, and nodes.
@@ -78,7 +104,11 @@ func New(cfg Config) *Network {
 		macCfg = *cfg.MAC
 	}
 
-	kernel := sim.NewKernel(rng.Derive(cfg.Seed, 0xC0FFEE))
+	rt := cfg.Runtime
+	if rt == nil {
+		rt = NewRuntime()
+	}
+	kernel := sim.NewKernelPooled(rng.Derive(cfg.Seed, 0xC0FFEE), rt.Events)
 	params := phy.DefaultParams(cfg.Model, cfg.Range)
 
 	positions := cfg.Positions
@@ -90,7 +120,11 @@ func New(cfg Config) *Network {
 		positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
 		if cfg.EnsureConnected {
 			for try := 0; try < 100; try++ {
-				probe := phy.NewChannel(kernel, cfg.Rect, positions, params, phy.ChannelConfig{Model: cfg.Model})
+				// The probe shares the runtime's range cache, so the
+				// connectivity bisection for a parameter set is paid once
+				// per worker, not once per placement attempt.
+				probe := phy.NewChannel(kernel, cfg.Rect, positions, params,
+					phy.ChannelConfig{Model: cfg.Model, Ranges: rt.Ranges})
 				if probe.Connected() {
 					break
 				}
@@ -108,6 +142,8 @@ func New(cfg Config) *Network {
 		Fader:        cfg.Fader,
 		FadeMarginDB: cfg.FadeMarginDB,
 		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
+		Pools:        rt.Phy,
+		Ranges:       rt.Ranges,
 	})
 
 	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed,

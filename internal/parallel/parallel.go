@@ -22,18 +22,49 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
+	out := make([]T, n)
+	run(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEach is Map without results: it evaluates fn for every index in
+// [0, n) using at most workers goroutines and returns once all indices
+// ran. It shares Map's worker clamping and panic contract — a panic in
+// any index lets the remaining indices finish, then re-raises on the
+// caller's goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	run(workers, n, fn)
+}
+
+// Workers clamps a requested worker count against n work items: 0 (or
+// negative) means GOMAXPROCS, and the result never exceeds n nor drops
+// below 1. Exported so higher-level engines (internal/sweep) size their
+// worker pools with the same rule.
+func Workers(workers, n int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	out := make([]T, n)
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// run is the shared execution body behind Map and ForEach; n must be
+// positive.
+func run(workers, n int, fn func(i int)) {
+	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			fn(i)
 		}
-		return out
+		return
 	}
 	// The work channel is filled and closed before any worker starts:
 	// workers only drain it, so there is no producer goroutine to
@@ -62,7 +93,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 				}
 			}()
 			for i := range next {
-				out[i] = fn(i)
+				fn(i)
 			}
 		}()
 	}
@@ -70,13 +101,4 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	if failure != nil {
 		panic(failure)
 	}
-	return out
-}
-
-// ForEach is Map without results.
-func ForEach(workers, n int, fn func(i int)) {
-	Map(workers, n, func(i int) struct{} {
-		fn(i)
-		return struct{}{}
-	})
 }

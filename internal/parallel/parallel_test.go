@@ -102,6 +102,117 @@ func TestMapPanicDoesNotAbandonWork(t *testing.T) {
 	}
 }
 
+// The clamp rule is shared by Map, ForEach, and internal/sweep: 0 or
+// negative means GOMAXPROCS, never more than n, never below 1.
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct {
+		name        string
+		workers, n  int
+		want        int
+		wantAtMost  int  // when >0, bound instead of exact (GOMAXPROCS cases)
+		wantAtLeast int  // paired lower bound
+		exact       bool // compare against want
+	}{
+		{name: "more workers than items", workers: 16, n: 3, want: 3, exact: true},
+		{name: "equal", workers: 4, n: 4, want: 4, exact: true},
+		{name: "fewer workers than items", workers: 2, n: 100, want: 2, exact: true},
+		{name: "zero items still yields one worker", workers: 8, n: 0, want: 1, exact: true},
+		{name: "negative items still yields one worker", workers: 8, n: -5, want: 1, exact: true},
+		{name: "zero workers means GOMAXPROCS clamped to n", workers: 0, n: 2, wantAtMost: 2, wantAtLeast: 1},
+		{name: "negative workers means GOMAXPROCS clamped to n", workers: -3, n: 2, wantAtMost: 2, wantAtLeast: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Workers(tc.workers, tc.n)
+			if tc.exact {
+				if got != tc.want {
+					t.Fatalf("Workers(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+				}
+				return
+			}
+			if got < tc.wantAtLeast || got > tc.wantAtMost {
+				t.Fatalf("Workers(%d, %d) = %d, want in [%d, %d]", tc.workers, tc.n, got, tc.wantAtLeast, tc.wantAtMost)
+			}
+		})
+	}
+}
+
+// Edge cases through the public entry points, table-driven: empty
+// inputs, worker counts past n, and panicking fns must behave the same
+// for Map and ForEach.
+func TestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		workers, n int
+		panicAt    int // index that panics; -1 for none
+	}{
+		{name: "n=0", workers: 4, n: 0, panicAt: -1},
+		{name: "n negative", workers: 4, n: -7, panicAt: -1},
+		{name: "workers>n", workers: 32, n: 5, panicAt: -1},
+		{name: "workers negative", workers: -1, n: 9, panicAt: -1},
+		{name: "panicking fn", workers: 4, n: 20, panicAt: 11},
+		{name: "panicking fn serial", workers: 1, n: 20, panicAt: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, entry := range []string{"Map", "ForEach"} {
+				var ran int32
+				var recovered any
+				func() {
+					defer func() { recovered = recover() }()
+					fn := func(i int) {
+						if i == tc.panicAt {
+							panic("edge boom")
+						}
+						atomic.AddInt32(&ran, 1)
+					}
+					if entry == "Map" {
+						Map(tc.workers, tc.n, func(i int) int { fn(i); return i })
+					} else {
+						ForEach(tc.workers, tc.n, fn)
+					}
+				}()
+				if tc.panicAt >= 0 {
+					if recovered == nil {
+						t.Fatalf("%s: panic at index %d was swallowed", entry, tc.panicAt)
+					}
+				} else {
+					if recovered != nil {
+						t.Fatalf("%s: unexpected panic %v", entry, recovered)
+					}
+					want := int32(0)
+					if tc.n > 0 {
+						want = int32(tc.n)
+					}
+					if ran != want {
+						t.Fatalf("%s: ran %d of %d indices", entry, ran, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ForEach must drain remaining indices after a worker panic, exactly
+// like Map.
+func TestForEachPanicDoesNotAbandonWork(t *testing.T) {
+	var ran [64]int32
+	func() {
+		defer func() { _ = recover() }()
+		ForEach(4, 64, func(i int) {
+			if i == 0 {
+				panic("first item")
+			}
+			atomic.AddInt32(&ran[i], 1)
+		})
+	}()
+	for i := 1; i < 64; i++ {
+		if atomic.LoadInt32(&ran[i]) != 1 {
+			t.Fatalf("index %d ran %d times after a worker panic", i, ran[i])
+		}
+	}
+}
+
 // Property: parallel result equals serial result for any worker count.
 func TestQuickParallelEqualsSerial(t *testing.T) {
 	f := func(workers uint8, n uint8) bool {

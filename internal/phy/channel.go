@@ -65,14 +65,16 @@ type Channel struct {
 
 	// ranges memoizes the RangeFor bisection per radio parameter set
 	// (experiments call DecodeRange/NeighborCount per node on topologies
-	// where all radios share one parameter set).
-	ranges *propagation.RangeCache
+	// where all radios share one parameter set). When ChannelConfig
+	// supplies a cache it is shared across every channel the owning
+	// sweep worker builds; otherwise the channel owns a private one.
+	ranges *propagation.SharedRangeCache
 
-	// Free lists for the per-delivery objects. The simulation is
-	// single-threaded (one kernel), so plain slices suffice and stay
-	// deterministic.
-	sigFree []*signal
-	delFree []*delivery
+	// pools recycles the per-delivery signal and delivery objects. The
+	// simulation is single-threaded (one kernel), so plain slices
+	// suffice and stay deterministic; see Pools for the cross-run reuse
+	// contract.
+	pools *Pools
 
 	scratch []int
 }
@@ -103,6 +105,14 @@ type ChannelConfig struct {
 	// is the slow reference path; it exists so tests can prove the
 	// cached channel is bit-for-bit equivalent to it.
 	NoLinkCache bool
+	// Pools, when non-nil, supplies externally owned signal/delivery
+	// free lists (a sweep worker's reusable run context). Nil means the
+	// channel allocates private pools — identical behavior, colder
+	// memory.
+	Pools *Pools
+	// Ranges, when non-nil, supplies an externally owned cross-model
+	// range cache; nil means a private one.
+	Ranges *propagation.SharedRangeCache
 }
 
 // NewChannel builds a medium over the given node positions inside rect.
@@ -131,6 +141,14 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 	if cell <= 0 || cell > rect.Width() {
 		cell = rect.Width()/4 + 1
 	}
+	pools := cfg.Pools
+	if pools == nil {
+		pools = NewPools()
+	}
+	ranges := cfg.Ranges
+	if ranges == nil {
+		ranges = propagation.NewSharedRangeCache()
+	}
 	ch := &Channel{
 		kernel:    k,
 		model:     model,
@@ -142,7 +160,8 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		links:     make([][]link, len(positions)),
 		linkValid: make([]bool, len(positions)),
 		noCache:   cfg.NoLinkCache,
-		ranges:    propagation.NewRangeCache(model),
+		ranges:    ranges,
+		pools:     pools,
 	}
 	ch.radios = make([]*Radio, len(positions))
 	for i := range positions {
@@ -286,41 +305,13 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 		if pDBm < rcv.params.CSThreshDBm {
 			continue // too weak to sense or corrupt: not scheduled
 		}
-		s := c.newSignal(pkt.Clone(), pDBm, pMW)
+		s := c.pools.newSignal(pkt.Clone(), pDBm, pMW)
 		s.end = now + l.delay + dur
 		c.stats.deliveries.Inc()
 		src.txLive = append(src.txLive, s)
 		c.scheduleDelivery(rcv, s, now+l.delay)
 	}
 }
-
-// newSignal takes a signal struct from the free list (or allocates) and
-// initializes it for one delivery.
-func (c *Channel) newSignal(pkt *packet.Packet, dbm, mw float64) *signal {
-	var s *signal
-	if n := len(c.sigFree); n > 0 {
-		s = c.sigFree[n-1]
-		c.sigFree = c.sigFree[:n-1]
-	} else {
-		s = &signal{}
-	}
-	*s = signal{pkt: pkt, powerDBm: dbm, powerMW: mw}
-	return s
-}
-
-// releaseSignal returns a signal to the free list once its end event
-// has fired; by then no radio holds a reference (signalEnd removed it
-// from the receiver's in-air set, or powerDown already dropped it).
-func (c *Channel) releaseSignal(s *signal) {
-	s.pkt = nil
-	if len(c.sigFree) < maxFreeObjects {
-		c.sigFree = append(c.sigFree, s)
-	}
-}
-
-// maxFreeObjects bounds the per-channel signal and delivery free lists;
-// anything beyond the cap is left for the garbage collector.
-const maxFreeObjects = 1 << 14
 
 // delivery carries one frame to one receiver. It is a pooled object
 // scheduled twice on the kernel with a single pre-bound callback: the
@@ -338,14 +329,7 @@ type delivery struct {
 // scheduleDelivery arms a pooled delivery for s at the receiver,
 // starting (leading edge) at start.
 func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
-	var d *delivery
-	if n := len(c.delFree); n > 0 {
-		d = c.delFree[n-1]
-		c.delFree = c.delFree[:n-1]
-	} else {
-		d = &delivery{ch: c}
-		d.fn = d.fire
-	}
+	d := c.pools.newDelivery(c)
 	d.rcv, d.sig, d.started = rcv, s, false
 	c.pendingStarts++
 	c.kernel.At(start, d.fn)
@@ -362,12 +346,10 @@ func (d *delivery) fire() {
 		d.rcv.signalStart(d.sig)
 		return
 	}
+	ch := d.ch
 	d.rcv.signalEnd(d.sig)
-	d.ch.releaseSignal(d.sig)
-	d.rcv, d.sig = nil, nil
-	if len(d.ch.delFree) < maxFreeObjects {
-		d.ch.delFree = append(d.ch.delFree, d)
-	}
+	ch.pools.releaseSignal(d.sig)
+	ch.pools.releaseDelivery(d)
 }
 
 // NeighborCount returns how many nodes sit within the decode range of
@@ -385,7 +367,7 @@ func (c *Channel) NeighborCount(i int) int {
 // every node of fields where all radios share one configuration.
 func (c *Channel) DecodeRange(i int) float64 {
 	r := c.radios[i]
-	return c.ranges.RangeFor(r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+	return c.ranges.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
 }
 
 // Connected reports whether the deterministic unit-disk graph induced

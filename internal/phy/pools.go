@@ -1,0 +1,77 @@
+package phy
+
+import "routeless/internal/packet"
+
+// Pools holds the channel's recyclable per-delivery objects — the
+// signal and delivery free lists the transmit hot path draws from.
+// Every channel has one; by default it is private (NewChannel allocates
+// it), but a sweep worker can pass one Pools through ChannelConfig so
+// consecutive runs on that worker reuse the same memory instead of
+// re-growing a fresh free list per replication.
+//
+// Pooled objects carry no residual state: newSignal and
+// scheduleDelivery reinitialize every field (including the delivery's
+// channel binding) on reuse, so sharing a pool across consecutive
+// channels cannot change simulation results. A Pools must never be
+// shared between channels that run concurrently — workers own theirs
+// exclusively.
+type Pools struct {
+	sig []*signal
+	del []*delivery
+}
+
+// NewPools returns an empty pool set, ready to hand to ChannelConfig.
+func NewPools() *Pools { return &Pools{} }
+
+// maxFreeObjects bounds the signal and delivery free lists; anything
+// beyond the cap is left for the garbage collector.
+const maxFreeObjects = 1 << 14
+
+// newSignal takes a signal struct from the free list (or allocates) and
+// initializes it for one delivery.
+func (p *Pools) newSignal(pkt *packet.Packet, dbm, mw float64) *signal {
+	var s *signal
+	if n := len(p.sig); n > 0 {
+		s = p.sig[n-1]
+		p.sig = p.sig[:n-1]
+	} else {
+		s = &signal{}
+	}
+	*s = signal{pkt: pkt, powerDBm: dbm, powerMW: mw}
+	return s
+}
+
+// releaseSignal returns a signal to the free list once its end event
+// has fired; by then no radio holds a reference (signalEnd removed it
+// from the receiver's in-air set, or powerDown already dropped it).
+func (p *Pools) releaseSignal(s *signal) {
+	s.pkt = nil
+	if len(p.sig) < maxFreeObjects {
+		p.sig = append(p.sig, s)
+	}
+}
+
+// newDelivery takes a delivery from the free list (or allocates one
+// with its callback pre-bound) and binds it to the arming channel. The
+// rebind matters: a pooled delivery may have last served a different
+// channel on the same worker.
+func (p *Pools) newDelivery(c *Channel) *delivery {
+	var d *delivery
+	if n := len(p.del); n > 0 {
+		d = p.del[n-1]
+		p.del = p.del[:n-1]
+	} else {
+		d = &delivery{}
+		d.fn = d.fire
+	}
+	d.ch = c
+	return d
+}
+
+// releaseDelivery returns a finished delivery to the free list.
+func (p *Pools) releaseDelivery(d *delivery) {
+	d.ch, d.rcv, d.sig = nil, nil, nil
+	if len(p.del) < maxFreeObjects {
+		p.del = append(p.del, d)
+	}
+}

@@ -71,6 +71,9 @@ func (m *FreeSpace) Wavelength() float64 { return SpeedOfLight / m.FrequencyHz }
 // Name implements Model.
 func (m *FreeSpace) Name() string { return "free-space" }
 
+// RangeKey implements RangeKeyer: the full parameter set, by value.
+func (m *FreeSpace) RangeKey() (any, bool) { return *m, true }
+
 // ReceivedPower implements Model.
 func (m *FreeSpace) ReceivedPower(txDBm, d float64) float64 {
 	if d < m.RefDistance {
@@ -100,6 +103,11 @@ func NewTwoRay() *TwoRay {
 
 // Name implements Model.
 func (m *TwoRay) Name() string { return "two-ray" }
+
+// RangeKey implements RangeKeyer. The TwoRay value embeds FreeSpace,
+// so the key differs from a FreeSpace key of equal numbers by dynamic
+// type alone.
+func (m *TwoRay) RangeKey() (any, bool) { return *m, true }
 
 // Crossover returns the distance (meters) at which the two-ray ground
 // term takes over from free space: d_c = 4π·ht·hr/λ.
@@ -139,6 +147,27 @@ func NewLogDistance(base Model, d0, n float64) *LogDistance {
 
 // Name implements Model.
 func (m *LogDistance) Name() string { return fmt.Sprintf("log-distance(n=%.1f)", m.Exponent) }
+
+// logDistanceKey is LogDistance's comparable RangeKey form: the base
+// model's own key plus the wrapper parameters.
+type logDistanceKey struct {
+	base   any
+	d0, ex float64
+}
+
+// RangeKey implements RangeKeyer; capturable only when the base model
+// is itself keyable.
+func (m *LogDistance) RangeKey() (any, bool) {
+	rk, ok := m.Base.(RangeKeyer)
+	if !ok {
+		return nil, false
+	}
+	base, ok := rk.RangeKey()
+	if !ok {
+		return nil, false
+	}
+	return logDistanceKey{base, m.RefDistance, m.Exponent}, true
+}
 
 // ReceivedPower implements Model.
 func (m *LogDistance) ReceivedPower(txDBm, d float64) float64 {

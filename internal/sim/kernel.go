@@ -70,6 +70,25 @@ func (n heapNode) before(o heapNode) bool {
 	return n.seq < o.seq
 }
 
+// EventPool is a free list of recycled Event structs; DES workloads
+// allocate millions of events and recycling them keeps GC pressure
+// flat without reaching for unsafe tricks. The pool is allowed to grow
+// with the peak queue depth (see recycle) so steady-state runs stop
+// allocating entirely.
+//
+// A pool may outlive the kernel that filled it: a sweep worker hands
+// one pool to each replication's kernel in turn, so after the first
+// cell warms it, later cells schedule out of recycled memory. Pooled
+// events carry no kernel state (recycle clears fn and kernel), but the
+// pool itself is plain mutable state — it must never be shared between
+// kernels that run concurrently.
+type EventPool struct {
+	free []*Event
+}
+
+// NewEventPool returns an empty pool, ready to hand to NewKernelPooled.
+func NewEventPool() *EventPool { return &EventPool{} }
+
 // Kernel is a discrete-event scheduler. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
@@ -80,12 +99,10 @@ type Kernel struct {
 	processed uint64
 	horizon   Time
 
-	// free is a pool of recycled Event structs; DES workloads allocate
-	// millions of events and recycling them keeps GC pressure flat
-	// without reaching for unsafe tricks. The pool is allowed to grow
-	// with the peak queue depth (see recycle) so steady-state runs stop
-	// allocating entirely.
-	free []*Event
+	// pool recycles Event structs. Private to the kernel by default;
+	// NewKernelPooled substitutes an externally owned pool so the free
+	// list survives the kernel and warms the next run.
+	pool *EventPool
 }
 
 // NewKernel returns a kernel whose clock starts at 0 and whose random
@@ -93,9 +110,23 @@ type Kernel struct {
 // components should derive from Rand() (directly or via rng.Split) so a
 // run is reproducible from its seed.
 func NewKernel(seed int64) *Kernel {
+	return NewKernelPooled(seed, NewEventPool())
+}
+
+// NewKernelPooled is NewKernel drawing recycled Event structs from an
+// externally owned pool. Recycling never changes event semantics —
+// every field is reinitialized on reuse — so a pooled kernel is
+// bit-for-bit equivalent to a fresh one; only the allocation count
+// differs. The caller must ensure no two concurrently running kernels
+// share one pool.
+func NewKernelPooled(seed int64, pool *EventPool) *Kernel {
+	if pool == nil {
+		pool = NewEventPool()
+	}
 	return &Kernel{
 		rng:     rand.New(rand.NewSource(seed)),
 		horizon: Infinity,
+		pool:    pool,
 	}
 }
 
@@ -131,9 +162,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	var e *Event
-	if n := len(k.free); n > 0 {
-		e = k.free[n-1]
-		k.free = k.free[:n-1]
+	if n := len(k.pool.free); n > 0 {
+		e = k.pool.free[n-1]
+		k.pool.free = k.pool.free[:n-1]
 	} else {
 		e = &Event{}
 	}
@@ -177,8 +208,8 @@ func (k *Kernel) recycle(e *Event) {
 	e.kernel = nil
 	// Retain enough spares to cover the live queue: once the free list
 	// matches the peak in-flight event count, every At() is a reuse.
-	if len(k.free) < len(k.events)+64 {
-		k.free = append(k.free, e)
+	if len(k.pool.free) < len(k.events)+64 {
+		k.pool.free = append(k.pool.free, e)
 	}
 }
 

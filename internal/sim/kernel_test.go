@@ -356,8 +356,8 @@ func TestFreeListGrowsWithQueueDepth(t *testing.T) {
 		k.Schedule(Time(i), func() {})
 	}
 	k.Run()
-	if len(k.free) < 1024 {
-		t.Fatalf("free list holds %d events after draining %d; recycling is not keeping up", len(k.free), depth)
+	if len(k.pool.free) < 1024 {
+		t.Fatalf("free list holds %d events after draining %d; recycling is not keeping up", len(k.pool.free), depth)
 	}
 	allocs := testing.AllocsPerRun(10, func() {
 		e := k.Schedule(1, func() {})
@@ -365,5 +365,30 @@ func TestFreeListGrowsWithQueueDepth(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("schedule/cancel cycle allocates %.1f objects; free list not reused", allocs)
+	}
+}
+
+// TestEventPoolSurvivesKernel verifies the sweep-worker reuse contract:
+// a pool filled by one kernel warms the next, so a second same-shaped
+// run schedules out of recycled Event structs.
+func TestEventPoolSurvivesKernel(t *testing.T) {
+	pool := NewEventPool()
+	k1 := NewKernelPooled(1, pool)
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		k1.Schedule(Time(i), func() {})
+	}
+	k1.Run()
+	warm := len(pool.free)
+	if warm == 0 {
+		t.Fatal("pool is empty after the first kernel drained")
+	}
+	k2 := NewKernelPooled(2, pool)
+	allocs := testing.AllocsPerRun(10, func() {
+		e := k2.Schedule(1, func() {})
+		k2.Cancel(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("second kernel allocates %.1f objects per event with a warm pool", allocs)
 	}
 }
