@@ -9,6 +9,7 @@
 //	wmansim -exp fig3            # Figure 3 (Routeless vs AODV)
 //	wmansim -exp fig4            # Figure 4 (… under node failures)
 //	wmansim -exp abl1|abl2|abl3|abl4
+//	wmansim -exp churn           # fault-plane churn study (-churn shorthand)
 //	wmansim -exp all
 //
 // Scale selection:
@@ -53,7 +54,8 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|churn|all")
+		churn    = flag.Bool("churn", false, "shorthand for -exp churn")
 		scale    = flag.String("scale", "small", "full (paper scale) or small (same density, faster)")
 		seeds    = flag.Int("seeds", 3, "independent replications per point")
 		duration = flag.Float64("duration", 0, "traffic seconds per run (0 = scale default)")
@@ -63,6 +65,9 @@ func run() int {
 		journalF = flag.String("journal", "", "append a JSONL run journal to this file")
 	)
 	flag.Parse()
+	if *churn {
+		*exp = "churn"
+	}
 
 	var journal *metrics.Journal
 	if *journalF != "" {
@@ -89,6 +94,7 @@ func run() int {
 	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
 	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
 	fig2 := experiments.Fig2Config{Seed: seedList[0], Workers: *workers}
+	churnCfg := experiments.ChurnConfig{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
 	if !full {
 		// Same node density as the paper, quarter the area.
 		fig1.Nodes, fig1.Terrain = 60, 800
@@ -102,6 +108,10 @@ func run() int {
 		}
 		fig2.Nodes, fig2.Terrain = 300, 1500
 		fig2.Duration = 30
+		churnCfg.Nodes, churnCfg.Terrain = 150, 1100
+		if churnCfg.Duration == 0 {
+			churnCfg.Duration = 20
+		}
 	}
 
 	show := func(t *stats.Table) {
@@ -147,6 +157,8 @@ func run() int {
 			tbl = experiments.Abl5Table(experiments.RunAbl5(fig34, nil, 5))
 		case "abl6":
 			tbl = experiments.Abl6Table(experiments.RunAbl6(fig34))
+		case "churn":
+			tbl = experiments.ChurnTable(experiments.RunChurn(churnCfg))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			return false
@@ -175,7 +187,7 @@ func run() int {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "abl1", "abl2", "abl3", "abl4", "abl5", "abl6"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "abl1", "abl2", "abl3", "abl4", "abl5", "abl6", "churn"} {
 			if !runExp(name) {
 				return 2
 			}

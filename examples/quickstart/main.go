@@ -1,10 +1,8 @@
-// Quickstart: the paper's §2 local leader election, run directly on the
-// abstract broadcast neighborhood.
-//
-// Ten nodes observe a common implicit synchronization point, each draws
-// a metric-derived backoff delay, the first to fire announces itself,
-// and everyone else cancels. An arbiter acknowledges the winner and
-// would re-trigger the round if a collision had destroyed it.
+// Quickstart: the façade's functional-options form, end to end. Build
+// a 100-node field, install Routeless Routing, run CBR traffic between
+// two corners — then do it again with a fault plan (duty-cycle crashes
+// plus a roaming jammer) injected through the same options call, and
+// compare what survived.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,61 +13,58 @@ import (
 	"routeless"
 )
 
+// run builds a field from the options, routes 20 packets corner to
+// corner, and reports delivery.
+func run(label string, opts ...routeless.Option) {
+	nw := routeless.NewNetwork(opts...)
+	nw.Install(func(n *routeless.Node) routeless.Protocol {
+		return routeless.NewRouteless(routeless.RoutelessConfig{})
+	})
+
+	src, dst := corner(nw, 0, 0), corner(nw, 1000, 1000)
+	delivered := 0
+	nw.Nodes[dst].OnAppReceive = func(p *routeless.Packet) { delivered++ }
+
+	cbr := routeless.NewCBR(nw.Nodes[src], dst, 1.0, 256)
+	cbr.StartAt(0.5)
+	nw.Run(20)
+	cbr.Stop()
+	nw.Run(25)
+
+	if err := nw.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-12s n%d → n%d: %d/%d delivered\n", label, src, dst, delivered, cbr.Sent())
+}
+
 func main() {
-	const nodes = 10
-	kernel := routeless.NewKernel(2026)
-
-	// The abstract medium: a clique with 100 µs latency, a 5 µs
-	// collision window, and 10% random loss per link.
-	cluster := routeless.NewCluster(kernel, nodes+1, 100e-6, 5e-6, 0.10, kernel.Rand())
-	cluster.ConnectAll()
-
-	// Metric: hop-gradient priority, as Routeless Routing uses it. Node
-	// i pretends to be i+1 hops from a target with 3 hops expected, so
-	// nodes 0–2 compete in the lowest delay band.
-	policy := routeless.HopGradientPolicy{Lambda: 2e-3}
-
-	electors := make([]*routeless.Elector, nodes)
-	for i := range electors {
-		e := routeless.NewElector(kernel, routeless.NodeID(i), cluster, policy)
-		e.OnOutcome = func(o routeless.ElectionOutcome) {
-			if o.Won {
-				fmt.Printf("t=%6.2fms  node %v: I am the leader of round %d\n",
-					kernel.Now().Millis(), o.Leader, o.Round)
-			} else {
-				fmt.Printf("t=%6.2fms  node %v: accepted leader %v\n",
-					kernel.Now().Millis(), e.ID(), o.Leader)
-			}
-		}
-		electors[i] = e
-		cluster.AttachElector(e)
+	base := []routeless.Option{
+		routeless.WithN(100),
+		routeless.WithRect(routeless.NewRect(1000, 1000)),
+		routeless.WithSeed(42),
+		routeless.WithEnsureConnected(),
 	}
 
-	// The arbiter (§2's reliability extension) triggers the round and
-	// acknowledges the winner; on silence it re-triggers.
-	arbiter := routeless.NewArbiter(kernel, routeless.NodeID(nodes), cluster, 10e-3)
-	arbiter.OnElected = func(leader routeless.NodeID, round uint32) {
-		fmt.Printf("t=%6.2fms  arbiter: acknowledged %v (round %d)\n",
-			kernel.Now().Millis(), leader, round)
-	}
-	cluster.AttachArbiter(arbiter)
+	// Clean run: no faults.
+	run("clean", base...)
 
-	// Feed each elector its metric context when the sync point fires.
-	ctxs := map[routeless.NodeID]routeless.PolicyContext{}
-	for i := 0; i < nodes; i++ {
-		ctxs[routeless.NodeID(i)] = routeless.PolicyContext{
-			HopsToTarget: i + 1,
-			ExpectedHops: 3,
+	// Same field, same seed, now under fire: 10% duty-cycle crashes on
+	// every node and a roaming jammer. The fault streams derive from the
+	// network seed, so this run is exactly reproducible too.
+	run("under fire", append(base, routeless.WithFaults(routeless.FaultPlan{
+		routeless.Crash(0.10),
+		routeless.Jam(24.5),
+	}))...)
+}
+
+// corner returns the node nearest (x, y).
+func corner(nw *routeless.Network, x, y float64) routeless.NodeID {
+	best, bestD := 0, 1e18
+	for i, n := range nw.Nodes {
+		dx, dy := n.Pos.X-x, n.Pos.Y-y
+		if d := dx*dx + dy*dy; d < bestD {
+			best, bestD = i, d
 		}
 	}
-	cluster.TriggerAll(1, ctxs)
-	arbiter.Trigger() // also counts as round bookkeeping for the ACK
-
-	kernel.Run()
-
-	st := cluster.Stats()
-	fmt.Printf("\nmedium: %d broadcasts, %d delivered, %d lost, %d collided\n",
-		st.Broadcasts, st.Delivered, st.Lost, st.Collided)
-	fmt.Printf("arbiter view: leader = %v after %d trigger(s)\n",
-		arbiter.Leader(), arbiter.Stats().Triggers)
+	return routeless.NodeID(best)
 }

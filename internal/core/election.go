@@ -204,11 +204,12 @@ type Arbiter struct {
 	// MaxRetries bounds re-triggers; 0 means unbounded.
 	MaxRetries int
 
-	timer   *sim.Timer
-	round   uint32
-	leader  packet.NodeID
-	done    bool
-	retries int
+	timer      *sim.Timer
+	round      uint32
+	leader     packet.NodeID
+	done       bool
+	retries    int
+	roundStart sim.Time // when the logical election began (first Trigger, not retriggers)
 
 	// OnElected fires when the arbiter acknowledges a leader.
 	OnElected func(leader packet.NodeID, round uint32)
@@ -222,6 +223,12 @@ type Arbiter struct {
 type arbiterCounters struct {
 	triggers metrics.Counter
 	acks     metrics.Counter
+
+	// electLatency spans Trigger → Ack for every completed election;
+	// reelectLatency is the subset that needed at least one re-trigger —
+	// the recovery metric the fault plane's churn study reads.
+	electLatency   metrics.Histogram
+	reelectLatency metrics.Histogram
 }
 
 // ArbiterStats is the plain-uint64 snapshot view of arbiter counters.
@@ -252,6 +259,8 @@ func (a *Arbiter) Stats() ArbiterStats {
 func (a *Arbiter) RegisterMetrics(reg *metrics.Registry) {
 	reg.Observe("arbiter.triggers", &a.stats.triggers)
 	reg.Observe("arbiter.acks", &a.stats.acks)
+	reg.ObserveHistogram("arbiter.elect_latency_s", &a.stats.electLatency)
+	reg.ObserveHistogram("arbiter.reelect_latency_s", &a.stats.reelectLatency)
 }
 
 // Leader returns the elected leader, or packet.None.
@@ -269,6 +278,7 @@ func (a *Arbiter) Trigger() {
 	a.done = false
 	a.retries = 0
 	a.leader = packet.None
+	a.roundStart = a.kernel.Now()
 	a.broadcastSync()
 }
 
@@ -287,6 +297,14 @@ func (a *Arbiter) Handle(from packet.NodeID, msg Message) {
 	a.leader = msg.Leader
 	a.timer.Stop()
 	a.stats.acks.Inc()
+	// Latency is measured from the logical election's first trigger:
+	// retriggered rounds keep roundStart, so a re-election's latency
+	// includes every timed-out attempt.
+	lat := float64(a.kernel.Now() - a.roundStart)
+	a.stats.electLatency.Observe(lat)
+	if a.retries > 0 {
+		a.stats.reelectLatency.Observe(lat)
+	}
 	a.medium.Broadcast(a.id, Message{Kind: packet.KindAck, Round: a.round, Leader: msg.Leader})
 	if a.OnElected != nil {
 		a.OnElected(msg.Leader, a.round)

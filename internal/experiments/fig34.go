@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"routeless/internal/fault"
 	"routeless/internal/geo"
 	"routeless/internal/metrics"
 	"routeless/internal/node"
@@ -138,16 +139,20 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 
 	// "node failures are artificially introduced to turn off
 	// transceivers in all nodes but those that generate and receive CBR
-	// traffic" (§4.3).
+	// traffic" (§4.3). The crash fault routes through the fault plane,
+	// which reuses the per-node StreamFailure streams and installs in
+	// node-id order — bitwise identical to the hand-wired loop this
+	// replaces, plus fault.* recovery series in the journal snapshots.
 	if failurePct > 0 {
+		var excl []packet.NodeID
 		for _, n := range nw.Nodes {
 			if endpoint[n.ID] {
-				continue
+				excl = append(excl, n.ID)
 			}
-			fp := node.NewFailureProcess(n, rng.ForNode(seed, rng.StreamFailure, int(n.ID)))
-			fp.OffFraction = failurePct
-			fp.Start()
 		}
+		crash := fault.Crash(failurePct)
+		crash.Exclude = excl
+		fault.Install(nw, fault.Plan{crash})
 	}
 
 	nw.Run(sim.Time(cfg.Duration))

@@ -552,3 +552,32 @@ func helper() {
 		},
 	})
 }
+
+func TestFaultRand(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches raw rand parameters in the fault plane", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import "math/rand"
+type spec struct{}
+func (s spec) install(r *rand.Rand) { _ = r }
+func helper(n int, r *rand.Rand) {}`,
+			want: []string{"install takes a raw *rand.Rand", "helper takes a raw *rand.Rand"},
+		},
+		{
+			name: "clean: returning a derived stream is the sanctioned doorway", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import "math/rand"
+func stream(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`,
+		},
+		{
+			name: "other packages may plumb generators", analyzer: FaultRand,
+			path: "routeless/internal/node", filename: "fix.go",
+			src: `package node
+import "math/rand"
+func NewFailureProcess(r *rand.Rand) { _ = r }`,
+		},
+	})
+}

@@ -256,5 +256,6 @@ func All() []*Analyzer {
 		SortPkg,
 		StatsMut,
 		SharedCap,
+		FaultRand,
 	}
 }

@@ -158,6 +158,15 @@ type law struct {
 	left, right []string
 }
 
+// invariant is one named custom predicate evaluated by Check alongside
+// the conservation laws — the hook for assertions that are not exact
+// equalities of counter sums (e.g. the fault plane's "downtime accrued
+// cannot exceed sim time × N" bound).
+type invariant struct {
+	name string
+	fn   func() error
+}
+
 // Registry holds the metric set of one simulation. It is not safe for
 // concurrent use — the simulation is single-threaded per kernel, and
 // parallel experiment sweeps build one registry per network. A
@@ -165,9 +174,10 @@ type law struct {
 // scope is flagged by the sharedcap lint rule: every worker would
 // mutate one shared metric set concurrently.
 type Registry struct {
-	entries []*entry
-	index   map[string]int
-	laws    []law
+	entries    []*entry
+	index      map[string]int
+	laws       []law
+	invariants []invariant
 }
 
 // NewRegistry returns an empty registry.
@@ -258,6 +268,13 @@ func (r *Registry) Law(name string, left, right []string) {
 	r.laws = append(r.laws, law{name: name, left: left, right: right})
 }
 
+// Invariant registers a custom predicate evaluated by Check after the
+// conservation laws. fn returns nil when the invariant holds and a
+// descriptive error otherwise.
+func (r *Registry) Invariant(name string, fn func() error) {
+	r.invariants = append(r.invariants, invariant{name: name, fn: fn})
+}
+
 // sum adds up the counter totals behind names.
 func (r *Registry) sum(names []string) (uint64, error) {
 	var t uint64
@@ -308,6 +325,11 @@ func (r *Registry) Check() error {
 		if lhs != rhs {
 			msgs = append(msgs, fmt.Sprintf("law %q violated: %d != %d (%s | %s)",
 				l.name, lhs, rhs, r.term(l.left), r.term(l.right)))
+		}
+	}
+	for _, iv := range r.invariants {
+		if err := iv.fn(); err != nil {
+			msgs = append(msgs, fmt.Sprintf("invariant %q violated: %v", iv.name, err))
 		}
 	}
 	if len(msgs) == 0 {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -186,5 +187,25 @@ func TestSnapshotTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestInvariant(t *testing.T) {
+	r := NewRegistry()
+	bound := errors.New("downtime exceeds sim time")
+	violated := false
+	r.Invariant("downtime", func() error {
+		if violated {
+			return bound
+		}
+		return nil
+	})
+	if err := r.Check(); err != nil {
+		t.Fatalf("holding invariant reported: %v", err)
+	}
+	violated = true
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), `invariant "downtime" violated: downtime exceeds sim time`) {
+		t.Fatalf("invariant violation not surfaced: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package node
 import (
 	"math/rand"
 
+	"routeless/internal/metrics"
 	"routeless/internal/sim"
 )
 
@@ -29,9 +30,10 @@ type FailureProcess struct {
 	timer *sim.Timer
 
 	// counters
-	failures  uint64
-	totalDown float64
-	downSince sim.Time
+	failures   metrics.Counter
+	recoveries metrics.Counter
+	totalDown  float64
+	downSince  sim.Time
 }
 
 // NewFailureProcess builds a process for n driven by r. It does not
@@ -40,6 +42,16 @@ func NewFailureProcess(n *Node, r *rand.Rand) *FailureProcess {
 	fp := &FailureProcess{Cycle: 10, node: n, rng: r}
 	fp.timer = sim.NewTimer(n.Kernel, fp.flip)
 	return fp
+}
+
+// RegisterMetrics surfaces the process's counters as network-wide
+// fault.* series. Per-node processes registered under one registry sum
+// into single network series; downtime is a gauge func so the series is
+// exact "up to now" at snapshot time even while the node is down.
+func (fp *FailureProcess) RegisterMetrics(reg *metrics.Registry) {
+	reg.Observe("fault.crashes", &fp.failures)
+	reg.Observe("fault.recoveries", &fp.recoveries)
+	reg.GaugeFunc("fault.downtime_s", fp.DownTime)
 }
 
 // Start arms the process. With OffFraction zero it does nothing.
@@ -62,7 +74,7 @@ func (fp *FailureProcess) Stop() {
 }
 
 // Failures returns how many times the node went down.
-func (fp *FailureProcess) Failures() uint64 { return fp.failures }
+func (fp *FailureProcess) Failures() uint64 { return fp.failures.Value() }
 
 // DownTime returns accumulated seconds spent off, up to now.
 func (fp *FailureProcess) DownTime() float64 {
@@ -85,7 +97,7 @@ func (fp *FailureProcess) downDuration() sim.Time {
 
 func (fp *FailureProcess) flip() {
 	if fp.node.Up() {
-		fp.failures++
+		fp.failures.Inc()
 		fp.downSince = fp.node.Kernel.Now()
 		if fp.Sleep {
 			fp.node.Sleep()
@@ -100,6 +112,7 @@ func (fp *FailureProcess) flip() {
 }
 
 func (fp *FailureProcess) recover() {
+	fp.recoveries.Inc()
 	fp.totalDown += float64(fp.node.Kernel.Now() - fp.downSince)
 	fp.node.Recover()
 }

@@ -49,12 +49,13 @@ const (
 	KindRERR                  // AODV route error
 	KindHello                 // AODV hello beacon
 	KindMACAck                // link-layer acknowledgement for unicast
+	KindJam                   // fault-plane jammer burst; interferes, never decodes
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"DATA", "FLOOD", "DISC", "REPLY", "ACK", "ANN", "SYNC",
-	"RREQ", "RREP", "RERR", "HELLO", "MACK",
+	"RREQ", "RREP", "RERR", "HELLO", "MACK", "JAM",
 }
 
 // String implements fmt.Stringer.

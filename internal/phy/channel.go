@@ -63,6 +63,12 @@ type Channel struct {
 	linkValid []bool
 	noCache   bool
 
+	// offsets holds the fault plane's per-link shadowing: extra gain in
+	// dB applied on top of the propagation model for specific directed
+	// links. Nil (the common case) means the power math runs exactly the
+	// pre-offset expressions, preserving float bit-identity.
+	offsets map[linkKey]float64
+
 	// ranges memoizes the RangeFor bisection per radio parameter set
 	// (experiments call DecodeRange/NeighborCount per node on topologies
 	// where all radios share one parameter set). When ChannelConfig
@@ -78,6 +84,9 @@ type Channel struct {
 
 	scratch []int
 }
+
+// linkKey identifies one directed link for the offset table.
+type linkKey struct{ from, to int32 }
 
 // ChannelStats is the plain-uint64 snapshot view of medium-wide counters.
 type ChannelStats struct {
@@ -246,7 +255,43 @@ func (c *Channel) RegisterMetrics(reg *metrics.Registry) {
 // between two node indices — used by tests and by range queries.
 func (c *Channel) MeanPowerAt(from, to int) float64 {
 	d := c.grid.At(from).Dist(c.grid.At(to))
-	return c.model.ReceivedPower(c.radios[from].params.TxPowerDBm, d)
+	return c.linkGain(from, to, c.model.ReceivedPower(c.radios[from].params.TxPowerDBm, d))
+}
+
+// SetLinkOffset applies an extra deterministic gain of db decibels to
+// the directed link from→to (negative values attenuate) — the fault
+// plane's per-link shadowing hook. A zero offset removes the entry.
+// The transmitter's link cache is invalidated; frames already in flight
+// keep the powers they were computed with, matching MoveTo semantics.
+func (c *Channel) SetLinkOffset(from, to int, db float64) {
+	if db == 0 {
+		delete(c.offsets, linkKey{int32(from), int32(to)})
+	} else {
+		if c.offsets == nil {
+			c.offsets = make(map[linkKey]float64)
+		}
+		c.offsets[linkKey{int32(from), int32(to)}] = db
+	}
+	c.linkValid[from] = false
+}
+
+// LinkOffset returns the current extra gain on from→to (0 when none).
+func (c *Channel) LinkOffset(from, to int) float64 {
+	return c.offsets[linkKey{int32(from), int32(to)}]
+}
+
+// linkGain folds any fault-plane offset into the deterministic receive
+// power p. The nil-map fast path returns p untouched — not even p+0 is
+// computed — so runs without link faults stay float-bit-identical to
+// the pre-offset code.
+func (c *Channel) linkGain(from, to int, p float64) float64 {
+	if c.offsets == nil {
+		return p
+	}
+	if o, ok := c.offsets[linkKey{int32(from), int32(to)}]; ok {
+		return p + o
+	}
+	return p
 }
 
 // buildLinks computes node src's outgoing edges: receivers within the
@@ -262,7 +307,7 @@ func (c *Channel) buildLinks(src int) []link {
 	tx := c.radios[src].params.TxPowerDBm
 	for _, idx := range c.scratch {
 		d := pos.Dist(c.grid.At(idx))
-		p := c.model.ReceivedPower(tx, d)
+		p := c.linkGain(src, idx, c.model.ReceivedPower(tx, d))
 		ls = append(ls, link{
 			idx:     int32(idx),
 			dist:    d,
@@ -350,6 +395,58 @@ func (d *delivery) fire() {
 	d.rcv.signalEnd(d.sig)
 	ch.pools.releaseSignal(d.sig)
 	ch.pools.releaseDelivery(d)
+}
+
+// InjectInterference radiates an interference-only burst of duration
+// dur from an arbitrary position — the fault plane's roaming jammer.
+// The burst fans out through the normal delivery path so carrier
+// sensing, SINR corruption, and the phy conservation laws all account
+// for it, but its signals are born aborted: they raise the noise floor
+// and hold the medium busy without ever decoding. Power is the
+// deterministic mean (no fading draw), so a jammer never perturbs the
+// frame fading stream; reach is bounded by the channel's interference
+// cutoff. Returns how many radios the burst was scheduled at.
+func (c *Channel) InjectInterference(pos geo.Point, txDBm float64, dur sim.Time) int {
+	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, -1)
+	slices.Sort(c.scratch)
+	c.uid++
+	pkt := &packet.Packet{
+		Kind:   packet.KindJam,
+		From:   packet.None,
+		To:     packet.Broadcast,
+		Origin: packet.None,
+		Target: packet.None,
+		UID:    c.uid,
+	}
+	now := c.kernel.Now()
+	hits := 0
+	for _, idx := range c.scratch {
+		rcv := c.radios[idx]
+		d := pos.Dist(c.grid.At(idx))
+		pDBm := c.model.ReceivedPower(txDBm, d)
+		if pDBm < rcv.params.CSThreshDBm {
+			continue
+		}
+		delay := sim.Time(propagation.Delay(d))
+		s := c.pools.newSignal(pkt.Clone(), pDBm, propagation.DBmToMilliwatt(pDBm))
+		s.aborted = true
+		s.end = now + delay + dur
+		c.stats.deliveries.Inc()
+		c.scheduleDelivery(rcv, s, now+delay)
+		hits++
+	}
+	return hits
+}
+
+// NeighborIDs appends the ids within node i's deterministic decode
+// range to dst, sorted ascending — the neighbor view fault injection
+// uses to pick links worth degrading. Offsets installed through
+// SetLinkOffset do not shrink this view: it describes the underlying
+// topology, not the currently faulted one.
+func (c *Channel) NeighborIDs(dst []int, i int) []int {
+	ids := c.grid.WithinRadius(dst[:0], c.grid.At(i), c.DecodeRange(i), i)
+	slices.Sort(ids)
+	return ids
 }
 
 // NeighborCount returns how many nodes sit within the decode range of

@@ -49,6 +49,7 @@ const (
 	StreamFailure                    // duty-cycle failure process
 	StreamChannel                    // fading draws
 	StreamElection                   // election metric jitter
+	StreamFault                      // fault-plane spec streams (jammer walk, link picks)
 )
 
 // ForNode derives a per-node, per-layer stream: same master seed and

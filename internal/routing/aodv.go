@@ -87,6 +87,7 @@ type AODVStats struct {
 	RoutesInvalided uint64
 	Rediscoveries   uint64
 	DroppedNoRoute  uint64 // source-side, discovery gave up
+	Repairs         uint64 // parked packets that found a route again
 }
 
 // aodvCounters is the live counter storage behind AODVStats.
@@ -105,6 +106,14 @@ type aodvCounters struct {
 	routesInvalided metrics.Counter
 	rediscoveries   metrics.Counter
 	droppedNoRoute  metrics.Counter
+	repairs         metrics.Counter
+
+	// repairLatency spans a data packet's parking behind a re-discovery
+	// (link break or route expiry with no alternative) to the moment a
+	// valid route let it move again — AODV's route-repair recovery
+	// metric. Instant salvages over an existing alternate route never
+	// open a window and are not counted.
+	repairLatency metrics.Histogram
 }
 
 // route is one forward-table row.
@@ -142,6 +151,9 @@ type AODV struct {
 	// salvage holds in-flight data packets parked behind a route
 	// re-discovery, keyed by their final target.
 	salvage map[packet.NodeID][]*packet.Packet
+	// repairStart records when the first packet for a target was parked;
+	// cleared when the repair resolves (or the discovery gives up).
+	repairStart map[packet.NodeID]sim.Time
 
 	seqNo  uint32 // own destination sequence number
 	rreqID uint32
@@ -165,6 +177,7 @@ func NewAODV(cfg AODVConfig) *AODV {
 	return &AODV{
 		cfg:         cfg,
 		salvage:     make(map[packet.NodeID][]*packet.Packet),
+		repairStart: make(map[packet.NodeID]sim.Time),
 		routes:      make(map[packet.NodeID]*route),
 		rreqSeen:    packet.NewDedupCache(8192),
 		consumed:    packet.NewDedupCache(8192),
@@ -204,6 +217,7 @@ func (a *AODV) Stats() AODVStats {
 		RoutesInvalided: s.routesInvalided.Value(),
 		Rediscoveries:   s.rediscoveries.Value(),
 		DroppedNoRoute:  s.droppedNoRoute.Value(),
+		Repairs:         s.repairs.Value(),
 	}
 }
 
@@ -224,6 +238,20 @@ func (a *AODV) RegisterMetrics(reg *metrics.Registry) {
 	reg.Observe("aodv.routes_invalided", &a.stats.routesInvalided)
 	reg.Observe("aodv.rediscoveries", &a.stats.rediscoveries)
 	reg.Observe("aodv.dropped_no_route", &a.stats.droppedNoRoute)
+	reg.Observe("aodv.repairs", &a.stats.repairs)
+	reg.ObserveHistogram("aodv.repair_latency_s", &a.stats.repairLatency)
+}
+
+// endRepair closes an open repair window for target: parked data can
+// move again. No-op when no window is open.
+func (a *AODV) endRepair(target packet.NodeID) {
+	t0, ok := a.repairStart[target]
+	if !ok {
+		return
+	}
+	delete(a.repairStart, target)
+	a.stats.repairs.Inc()
+	a.stats.repairLatency.Observe(float64(a.n.Kernel.Now() - t0))
 }
 
 // RouteTo reports the current route to target (hops, ok) — test and
@@ -339,6 +367,9 @@ func (a *AODV) discoveryTimeout(target packet.NodeID) {
 	if !retry {
 		a.stats.droppedNoRoute.Add(uint64(len(d.queue) + len(a.salvage[target])))
 		delete(a.salvage, target)
+		// The repair failed; the window closes without a latency sample
+		// (give-ups are visible through aodv.dropped_no_route).
+		delete(a.repairStart, target)
 		return
 	}
 	a.stats.rediscoveries.Inc()
@@ -596,6 +627,7 @@ func (a *AODV) OnUnicastFailed(pkt *packet.Packet) {
 // behind a discovery for its target.
 func (a *AODV) salvageData(pkt *packet.Packet) {
 	if r := a.validRoute(pkt.Target); r != nil {
+		a.endRepair(pkt.Target)
 		fwd := pkt.Clone()
 		fwd.To = r.nextHop
 		fwd.UID = 0 // a new frame, not an ARQ duplicate
@@ -607,6 +639,9 @@ func (a *AODV) salvageData(pkt *packet.Packet) {
 	if len(list) >= 16 {
 		a.stats.dataDropped.Inc() // bounded salvage buffer
 		return
+	}
+	if _, open := a.repairStart[pkt.Target]; !open {
+		a.repairStart[pkt.Target] = a.n.Kernel.Now()
 	}
 	a.salvage[pkt.Target] = append(list, pkt.Clone())
 	d, started := a.discovering.ensure(pkt.Target, a.n.Kernel, func() { a.discoveryTimeout(pkt.Target) })

@@ -58,6 +58,7 @@ type GradientStats struct {
 	RepliesSent       uint64
 	DroppedNoRoute    uint64
 	TTLDrops          uint64
+	Repairs           uint64 // gradients rebuilt after a discovery retry
 }
 
 // gradientCounters is the live counter storage behind GradientStats.
@@ -71,6 +72,14 @@ type gradientCounters struct {
 	repliesSent       metrics.Counter
 	droppedNoRoute    metrics.Counter
 	ttlDrops          metrics.Counter
+	repairs           metrics.Counter
+
+	// repairLatency spans a discovery's first re-flood (the gradient
+	// failed to form, or dissolved under churn) to the moment it yields a
+	// usable gradient. Gradient has no per-packet maintenance, so
+	// discovery retry is its repair mechanism; first-attempt successes
+	// never open a window.
+	repairLatency metrics.Histogram
 }
 
 // Gradient is the §4.4 comparison protocol (after Poor's Gradient
@@ -92,6 +101,10 @@ type Gradient struct {
 	discovering discoverySet
 	discPolicy  core.BackoffPolicy
 
+	// repairStart records when a discovery first re-flooded for a
+	// target; cleared when the discovery succeeds or gives up.
+	repairStart map[packet.NodeID]sim.Time
+
 	stats gradientCounters
 }
 
@@ -106,6 +119,7 @@ func NewGradient(cfg GradientConfig) *Gradient {
 		consumed:    packet.NewDedupCache(8192),
 		discovering: make(discoverySet),
 		discPolicy:  core.Uniform{Max: cfg.DiscoveryBackoff},
+		repairStart: make(map[packet.NodeID]sim.Time),
 	}
 }
 
@@ -125,6 +139,7 @@ func (g *Gradient) Stats() GradientStats {
 		RepliesSent:       s.repliesSent.Value(),
 		DroppedNoRoute:    s.droppedNoRoute.Value(),
 		TTLDrops:          s.ttlDrops.Value(),
+		Repairs:           s.repairs.Value(),
 	}
 }
 
@@ -140,6 +155,20 @@ func (g *Gradient) RegisterMetrics(reg *metrics.Registry) {
 	reg.Observe("gradient.replies_sent", &g.stats.repliesSent)
 	reg.Observe("gradient.dropped_no_route", &g.stats.droppedNoRoute)
 	reg.Observe("gradient.ttl_drops", &g.stats.ttlDrops)
+	reg.Observe("gradient.repairs", &g.stats.repairs)
+	reg.ObserveHistogram("gradient.repair_latency_s", &g.stats.repairLatency)
+}
+
+// endRepair closes an open repair window for target: the discovery that
+// had to retry finally produced a usable gradient.
+func (g *Gradient) endRepair(target packet.NodeID) {
+	t0, ok := g.repairStart[target]
+	if !ok {
+		return
+	}
+	delete(g.repairStart, target)
+	g.stats.repairs.Inc()
+	g.stats.repairLatency.Observe(float64(g.n.Kernel.Now() - t0))
 }
 
 // Table exposes the gradient table (read-mostly; used by tests and
@@ -199,6 +228,7 @@ func (g *Gradient) discoveryTimeout(target packet.NodeID) {
 	// discovery has succeeded — flush instead of re-flooding or
 	// dropping the queue next to a usable gradient.
 	if g.table.Hops(target) >= 0 {
+		g.endRepair(target)
 		for _, pd := range g.discovering.succeed(target) {
 			g.sendData(target, pd.size, pd.created)
 		}
@@ -210,7 +240,13 @@ func (g *Gradient) discoveryTimeout(target packet.NodeID) {
 	}
 	if !retry {
 		g.stats.droppedNoRoute.Add(uint64(len(d.queue)))
+		// The repair failed; no latency sample (give-ups are visible
+		// through gradient.dropped_no_route).
+		delete(g.repairStart, target)
 		return
+	}
+	if _, open := g.repairStart[target]; !open {
+		g.repairStart[target] = g.n.Kernel.Now()
 	}
 	g.floodDiscovery(target)
 	d.timer.Reset(g.cfg.DiscoveryTimeout)
@@ -259,6 +295,7 @@ func (g *Gradient) OnDeliver(pkt *packet.Packet, rssiDBm float64) {
 					g.stats.dataDelivered.Inc()
 					g.n.Deliver(pkt)
 				} else {
+					g.endRepair(pkt.Origin)
 					for _, pd := range g.discovering.succeed(pkt.Origin) {
 						g.sendData(pkt.Origin, pd.size, pd.created)
 					}

@@ -142,6 +142,7 @@ type RoutelessStats struct {
 	Abstains            uint64 // elections skipped for lack of a gradient
 	TTLDrops            uint64
 	DroppedNoRoute      uint64 // data dropped after discovery gave up
+	Repairs             uint64 // relays recovered after arbiter retransmission
 }
 
 // routelessCounters is the live counter storage behind RoutelessStats.
@@ -166,6 +167,12 @@ type routelessCounters struct {
 	abstains            metrics.Counter
 	ttlDrops            metrics.Counter
 	droppedNoRoute      metrics.Counter
+	repairs             metrics.Counter
+
+	// repairLatency spans a relay's first arbiter retransmission to the
+	// evidence that the packet moved again (overheard downstream copy or
+	// ACK) — Routeless Routing's route-repair recovery metric.
+	repairLatency metrics.Histogram
 }
 
 type relayPhase uint8
@@ -192,6 +199,10 @@ type relayState struct {
 	retries   int
 	reAcks    int
 	created   sim.Time
+
+	// repairStart is when the first retransmission for this relay fired;
+	// zero while no repair is in progress.
+	repairStart sim.Time
 }
 
 // discForward tracks one pending discovery rebroadcast so that a
@@ -295,6 +306,7 @@ func (r *Routeless) Stats() RoutelessStats {
 		Abstains:            s.abstains.Value(),
 		TTLDrops:            s.ttlDrops.Value(),
 		DroppedNoRoute:      s.droppedNoRoute.Value(),
+		Repairs:             s.repairs.Value(),
 	}
 }
 
@@ -321,6 +333,20 @@ func (r *Routeless) RegisterMetrics(reg *metrics.Registry) {
 	reg.Observe("rr.abstains", &r.stats.abstains)
 	reg.Observe("rr.ttl_drops", &r.stats.ttlDrops)
 	reg.Observe("rr.dropped_no_route", &r.stats.droppedNoRoute)
+	reg.Observe("rr.repairs", &r.stats.repairs)
+	reg.ObserveHistogram("rr.repair_latency_s", &r.stats.repairLatency)
+}
+
+// repairDone closes an open repair window on st: the packet provably
+// moved again after at least one arbiter retransmission. No-op when no
+// repair was in progress.
+func (r *Routeless) repairDone(st *relayState) {
+	if st.repairStart == 0 {
+		return
+	}
+	r.stats.repairs.Inc()
+	r.stats.repairLatency.Observe(float64(r.n.Kernel.Now() - st.repairStart))
+	st.repairStart = 0
 }
 
 func (r *Routeless) event(ev string, key packet.FlowKey, hop int) {
@@ -598,6 +624,7 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 					// Only possible for a queued retransmission: our
 					// earlier copy did get relayed downstream — finish
 					// the arbiter duty with an ACK.
+					r.repairDone(st)
 					r.stats.arbiterAcks.Inc()
 					r.sendAck(key)
 				}
@@ -611,6 +638,7 @@ func (r *Routeless) handleRelayPacket(pkt *packet.Packet, rssiDBm float64) {
 			// acknowledge so nodes that missed the relay stand down.
 			st.timer.Stop()
 			st.phase = phaseDone
+			r.repairDone(st)
 			r.stats.arbiterAcks.Inc()
 			r.event("ack-tx", key, pkt.HopCount)
 			r.sendAck(key)
@@ -713,6 +741,9 @@ func (r *Routeless) relayTimeout(key packet.FlowKey) {
 	}
 	r.stats.retransmissions.Inc()
 	r.event("retransmit", key, st.txHop)
+	if st.repairStart == 0 {
+		st.repairStart = r.n.Kernel.Now()
+	}
 	st.phase = phaseQueued
 	r.enqueueRelay(st, 0)
 }
@@ -746,11 +777,13 @@ func (r *Routeless) handleAck(pkt *packet.Packet) {
 	case phaseQueued:
 		if r.n.MAC.Dequeue(st.inflight) {
 			st.phase = phaseDone
+			r.repairDone(st)
 			r.stats.cancelledByAck.Inc()
 		}
 	case phaseRelayed:
 		st.timer.Stop()
 		st.phase = phaseDone
+		r.repairDone(st)
 	}
 }
 

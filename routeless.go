@@ -18,9 +18,11 @@
 //
 // # Quickstart
 //
-//	nw := routeless.NewNetwork(routeless.NetworkConfig{
-//		N: 100, Seed: 42, EnsureConnected: true,
-//	})
+//	nw := routeless.NewNetwork(
+//		routeless.WithN(100),
+//		routeless.WithSeed(42),
+//		routeless.WithEnsureConnected(),
+//	)
 //	nw.Install(func(n *routeless.Node) routeless.Protocol {
 //		return routeless.NewRouteless(routeless.RoutelessConfig{})
 //	})
@@ -28,12 +30,31 @@
 //	nw.Nodes[0].Net.Send(7, 256)
 //	nw.Run(10) // simulated seconds
 //
+// NewNetwork also accepts a full NetworkConfig struct literal — the
+// struct is itself an Option — so both call forms are supported:
+//
+//	nw := routeless.NewNetwork(routeless.NetworkConfig{
+//		N: 100, Seed: 42, EnsureConnected: true,
+//	})
+//
+// Deterministic fault injection (crashes, battery drain, link
+// shadowing, jamming) rides along as an option:
+//
+//	nw := routeless.NewNetwork(
+//		routeless.WithN(100), routeless.WithSeed(42),
+//		routeless.WithFaults(routeless.FaultPlan{
+//			routeless.Crash(0.05),
+//			routeless.Jam(24.5),
+//		}),
+//	)
+//
 // See examples/ for runnable programs and DESIGN.md for the system
 // inventory.
 package routeless
 
 import (
 	"routeless/internal/core"
+	"routeless/internal/fault"
 	"routeless/internal/flood"
 	"routeless/internal/geo"
 	"routeless/internal/node"
@@ -96,21 +117,124 @@ func NewRect(w, h float64) Rect { return geo.NewRect(w, h) }
 type (
 	// Network is a fully assembled simulation.
 	Network = node.Network
-	// NetworkConfig describes a network to build.
-	NetworkConfig = node.Config
 	// Node is one simulated wireless node.
 	Node = node.Node
 	// Protocol is a network-layer implementation.
 	Protocol = node.Protocol
 	// FailureProcess injects §4.3 duty-cycle transceiver failures.
+	// Prefer the fault plane's Crash spec, which drives the same
+	// process with metrics and exclusion handling built in.
 	FailureProcess = node.FailureProcess
 )
 
-// NewNetwork builds a network from the config.
-func NewNetwork(cfg NetworkConfig) *Network { return node.New(cfg) }
+// NetworkConfig describes a network to build. It doubles as an Option:
+// passing a whole struct literal to NewNetwork replaces the accumulated
+// field options, so the original call form keeps working unchanged.
+type NetworkConfig node.Config
+
+func (c NetworkConfig) apply(s *netSetup) { s.cfg = node.Config(c) }
+
+// Option configures NewNetwork. Options are applied in order; a
+// NetworkConfig struct literal is itself an Option.
+type Option interface{ apply(s *netSetup) }
+
+// netSetup accumulates NewNetwork options before construction.
+type netSetup struct {
+	cfg    node.Config
+	faults fault.Plan
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*netSetup)
+
+func (f optionFunc) apply(s *netSetup) { f(s) }
+
+// WithN sets the node count (ignored when positions are set).
+func WithN(n int) Option { return optionFunc(func(s *netSetup) { s.cfg.N = n }) }
+
+// WithSeed sets the seed driving every random stream in the network.
+func WithSeed(seed int64) Option { return optionFunc(func(s *netSetup) { s.cfg.Seed = seed }) }
+
+// WithRect sets the terrain.
+func WithRect(r Rect) Option { return optionFunc(func(s *netSetup) { s.cfg.Rect = r }) }
+
+// WithRange sets the calibrated transmission range in meters.
+func WithRange(m float64) Option { return optionFunc(func(s *netSetup) { s.cfg.Range = m }) }
+
+// WithPositions places nodes explicitly instead of uniformly at random.
+func WithPositions(pts []Point) Option {
+	return optionFunc(func(s *netSetup) { s.cfg.Positions = pts })
+}
+
+// WithModel sets the propagation model (default free space).
+func WithModel(m PropagationModel) Option {
+	return optionFunc(func(s *netSetup) { s.cfg.Model = m })
+}
+
+// WithEnsureConnected regenerates random placements until the
+// unit-disk graph is connected.
+func WithEnsureConnected() Option {
+	return optionFunc(func(s *netSetup) { s.cfg.EnsureConnected = true })
+}
+
+// WithFaults installs the fault plan against the network after
+// construction. An empty plan is inert. For access to the injector
+// handle (crash processes, for instance), build the network first and
+// call InstallFaults directly.
+func WithFaults(plan FaultPlan) Option {
+	return optionFunc(func(s *netSetup) { s.faults = plan })
+}
+
+// NewNetwork builds a network from the options. Both call forms work:
+// a single NetworkConfig struct literal, or field options like WithN.
+func NewNetwork(opts ...Option) *Network {
+	var s netSetup
+	for _, o := range opts {
+		o.apply(&s)
+	}
+	nw := node.New(s.cfg)
+	if len(s.faults) > 0 {
+		fault.Install(nw, s.faults)
+	}
+	return nw
+}
 
 // NewFailureProcess builds a duty-cycle failure process for n.
 var NewFailureProcess = node.NewFailureProcess
+
+// Fault injection (the deterministic fault plane).
+type (
+	// FaultPlan is an ordered list of fault specs to install.
+	FaultPlan = fault.Plan
+	// FaultSpec is one typed fault in a plan (closed interface).
+	FaultSpec = fault.Spec
+	// FaultInjector is the handle InstallFaults returns.
+	FaultInjector = fault.Injector
+	// CrashSpec is the §4.3 duty-cycle crash/recovery fault.
+	CrashSpec = fault.CrashSpec
+	// DrainSpec is the battery-depletion fault.
+	DrainSpec = fault.DrainSpec
+	// DegradeSpec is the transient per-link shadowing fault.
+	DegradeSpec = fault.DegradeSpec
+	// JamSpec is the roaming interference-only jammer.
+	JamSpec = fault.JamSpec
+)
+
+// Crash returns a duty-cycle crash fault with the given off fraction.
+var Crash = fault.Crash
+
+// Drain returns a battery-depletion fault with the given budget.
+var Drain = fault.Drain
+
+// Degrade returns a per-link shadowing fault with the given offset.
+var Degrade = fault.Degrade
+
+// Jam returns a roaming jammer with the given transmit power.
+var Jam = fault.Jam
+
+// InstallFaults wires a fault plan into a built network and returns
+// the injector handle. WithFaults is the option-form equivalent.
+var InstallFaults = fault.Install
 
 // Local leader election (§2).
 type (
