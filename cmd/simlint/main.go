@@ -1,7 +1,9 @@
 // Command simlint enforces the simulator's determinism invariants with
-// static analysis. It walks the requested packages, runs every rule in
-// internal/lint, prints findings as file:line:col diagnostics, and
-// exits nonzero when any survive.
+// static analysis. It loads the requested packages into one
+// whole-module program (call graph + taint summaries, see
+// internal/lint), runs every rule with flow-aware context, prints
+// findings as file:line:col diagnostics, and exits nonzero when any
+// survive.
 //
 // Usage:
 //
@@ -9,19 +11,34 @@
 //	simlint ./internal/sim ./cmd/wmansim
 //	simlint -list          # show the rule set
 //	simlint -rules globalrand,floateq ./...
+//	simlint -audit ./...   # also fail on stale //lint:ignore directives
+//	simlint -json ./...    # machine-readable findings + shard-safety report
+//	simlint -json -report out.json ./...  # write the JSON to a file too
 //
 // Suppress a finding in source with:
 //
 //	//lint:ignore <rule> <reason>
 //
 // on the offending line or the line above. The reason is mandatory.
+// -audit flags directives that no longer suppress anything; because
+// staleness is judged against the full rule set, -audit cannot be
+// combined with a -rules subset.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// The JSON payload carries the findings, the audit result, and the
+// shardsafety/v1 inventory: every event-handler entry point, every
+// package-level variable classified readonly/atomic/mutable, and the
+// shared singleton types reached from handler context — the go/no-go
+// input for the PDES tile decomposition.
+//
+// Exit status: 0 clean, 1 findings (or stale directives under -audit),
+// 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"slices"
@@ -30,10 +47,38 @@ import (
 	"routeless/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonStale is one stale suppression in -json output.
+type jsonStale struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+}
+
+// jsonReport is the full -json payload.
+type jsonReport struct {
+	Findings    []jsonFinding     `json:"findings"`
+	Stale       []jsonStale       `json:"stale"`
+	Suppressed  int               `json:"suppressed"`
+	ShardSafety *lint.ShardReport `json:"shardSafety"`
+}
+
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		rules   = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		audit   = flag.Bool("audit", false, "fail on stale //lint:ignore directives (full rule set only)")
+		jsonOut = flag.Bool("json", false, "emit findings and the shard-safety report as JSON on stdout")
+		report  = flag.String("report", "", "also write the JSON payload to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +89,7 @@ func main() {
 		}
 		return
 	}
+	subset := false
 	if *rules != "" {
 		want := map[string]bool{}
 		for _, r := range strings.Split(*rules, ",") {
@@ -66,6 +112,11 @@ func main() {
 			os.Exit(2)
 		}
 		analyzers = sel
+		subset = len(sel) < len(lint.All())
+	}
+	if *audit && subset {
+		fmt.Fprintln(os.Stderr, "simlint: -audit needs the full rule set; drop -rules (staleness is judged against every rule)")
+		os.Exit(2)
 	}
 
 	args := flag.Args()
@@ -85,24 +136,96 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// Load everything first: the flow-aware rules need the whole
+	// program (cross-package call edges, taint summaries) before any
+	// unit is judged.
+	var units []*lint.Unit
 	for _, dir := range dirs {
-		units, err := loader.LoadDir(dir)
+		us, err := loader.LoadDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", dir, err)
 			os.Exit(2)
 		}
-		for _, u := range units {
-			for _, d := range lint.Run(u, analyzers) {
-				fmt.Println(d)
-				found++
+		units = append(units, us...)
+	}
+	prog := lint.BuildProgram(units)
+	res := lint.Analyze(prog, analyzers)
+
+	failed := len(res.Diags) > 0
+	if *audit && len(res.Stale) > 0 {
+		failed = true
+	}
+
+	if *jsonOut || *report != "" {
+		payload := buildJSON(res, prog)
+		if *jsonOut {
+			if err := writeJSON(os.Stdout, payload); err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *report != "" {
+			f, err := os.Create(*report)
+			if err == nil {
+				err = writeJSON(f, payload)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+				os.Exit(2)
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", found)
+	if !*jsonOut {
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
+		if *audit {
+			for _, s := range res.Stale {
+				fmt.Println(s)
+			}
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(res.Diags))
+	}
+	if *audit && len(res.Stale) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d stale suppression(s)\n", len(res.Stale))
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// buildJSON assembles the machine-readable payload, including the
+// shard-safety inventory computed from the same program.
+func buildJSON(res *lint.Result, prog *lint.Program) *jsonReport {
+	payload := &jsonReport{
+		Findings:    []jsonFinding{},
+		Stale:       []jsonStale{},
+		Suppressed:  res.Suppressed,
+		ShardSafety: lint.BuildShardReport(prog),
+	}
+	for _, d := range res.Diags {
+		payload.Findings = append(payload.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	for _, s := range res.Stale {
+		payload.Stale = append(payload.Stale, jsonStale{
+			File: s.Pos.Filename, Line: s.Pos.Line, Rule: s.Rule, Reason: s.Reason,
+		})
+	}
+	return payload
+}
+
+func writeJSON(w io.Writer, payload *jsonReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
 }
 
 // expandArgs turns package patterns into directories. A trailing /...

@@ -104,6 +104,53 @@ func good(seed int64) float64 {
 	return r.Float64()
 }`,
 		},
+		{
+			name: "flow: catches fixed seed laundered through a helper", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func bad() float64 { return mk(42).Float64() }`,
+			want: []string{"supplies a fixed seed"},
+		},
+		{
+			name: "flow: catches raw constructor over a literal seed", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+func bad() float64 { return rand.New(rand.NewSource(7)).Float64() }`,
+			want: []string{"constructed from a fixed seed"},
+		},
+		{
+			name: "flow: catches package-level stream and draws from it", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+var stream *rand.Rand
+func bad() float64 { return stream.Float64() }`,
+			want: []string{"process-shared stream", "draws from package-level stream"},
+		},
+		{
+			name: "flow: clean, helper fed a derived seed", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"math/rand"
+	"routeless/internal/rng"
+)
+func mk(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func good(seed int64) float64 { return mk(rng.Derive(seed, "fix")).Float64() }`,
+		},
+		{
+			name: "flow: suppressed with a reasoned directive", analyzer: GlobalRand,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "math/rand"
+func bad() float64 {
+	//lint:ignore globalrand fixed corpus for a statistics self-test, order-independent
+	return rand.New(rand.NewSource(7)).Float64()
+}`,
+		},
 	})
 }
 
@@ -160,14 +207,26 @@ func bad(m map[int]int, sink chan int) {
 			name: "catches scheduling under map range", analyzer: MapOrder,
 			path: "routeless/internal/fix", filename: "fix.go",
 			src: `package fix
-type kernel struct{}
-func (kernel) Schedule(d float64, f func()) {}
+type kernel struct{ q chan func() }
+func (k kernel) Schedule(d float64, f func()) { k.q <- f }
 func bad(m map[int]func(), k kernel) {
 	for _, f := range m {
 		k.Schedule(0, f)
 	}
 }`,
 			want: []string{"calls Schedule"},
+		},
+		{
+			name: "clean: resolved callee provably reaches no sink", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+type reg struct{ n int }
+func (r *reg) Schedule(d float64, f func()) { r.n++ }
+func good(m map[int]func(), r *reg) {
+	for _, f := range m {
+		r.Schedule(0, f)
+	}
+}`,
 		},
 		{
 			name: "catches unsorted result accumulation", analyzer: MapOrder,
@@ -222,6 +281,75 @@ func good(m map[int][]int) int {
 		total += len(tmp)
 	}
 	return total
+}`,
+		},
+		{
+			name: "flow: catches a sink two calls away under an innocent name", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "fmt"
+func emit(s string)  { report(s) }
+func report(s string) { fmt.Println(s) }
+func bad(m map[string]int) {
+	for k := range m {
+		emit(k)
+	}
+}`,
+			want: []string{"calls emit, which reaches process output"},
+		},
+		{
+			name: "flow: catches ranging over a map-ordered helper result", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "fmt"
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+func bad(m map[string]int) {
+	for _, k := range keys(m) {
+		fmt.Println(k)
+	}
+}`,
+			want: []string{"built in map-iteration order by fix.keys"},
+		},
+		{
+			name: "flow: clean, helper result assigned then sorted", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"fmt"
+	"slices"
+)
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+func good(m map[string]int) {
+	ks := keys(m)
+	slices.Sort(ks)
+	for _, k := range ks {
+		fmt.Println(k)
+	}
+}`,
+		},
+		{
+			name: "flow: suppressed cross-function leak", analyzer: MapOrder,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "fmt"
+func emit(s string) { fmt.Println(s) }
+func tolerated(m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder debug dump, order intentionally irrelevant
+		emit(k)
+	}
 }`,
 		},
 	})
@@ -578,6 +706,100 @@ func stream(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`,
 			src: `package node
 import "math/rand"
 func NewFailureProcess(r *rand.Rand) { _ = r }`,
+		},
+		{
+			name: "flow: catches a draw from a fixed-seed stream laundered through a helper", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import "math/rand"
+func stream() *rand.Rand { return rand.New(rand.NewSource(7)) }
+func jitter() float64 { return stream().Float64() }`,
+			want: []string{"fixed-seed stream"},
+		},
+		{
+			name: "flow: catches a draw from a package-level stream", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import "math/rand"
+var shared *rand.Rand
+func jitter() float64 { return shared.Float64() }`,
+			want: []string{"package-level stream"},
+		},
+		{
+			name: "flow: clean, stream derived from the network seed", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import (
+	"math/rand"
+	"routeless/internal/rng"
+)
+func stream(seed int64) *rand.Rand { return rand.New(rand.NewSource(rng.Derive(seed, "fault"))) }
+func jitter(seed int64) float64 { return stream(seed).Float64() }`,
+		},
+		{
+			name: "flow: suppressed fixed-seed draw", analyzer: FaultRand,
+			path: "routeless/internal/fault", filename: "fix.go",
+			src: `package fault
+import "math/rand"
+func stream() *rand.Rand { return rand.New(rand.NewSource(7)) }
+func jitter() float64 {
+	//lint:ignore faultrand self-test of the injector math, never reaches a run
+	return stream().Float64()
+}`,
+		},
+	})
+}
+
+func TestSharedState(t *testing.T) {
+	runFixtures(t, []fixtureCase{
+		{
+			name: "catches a handler method writing package state", analyzer: SharedState,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+var hits int
+type listener struct{}
+func (listener) OnReceive(rssi float64) { hits++ }`,
+			want: []string{"writes package-level var routeless/internal/fix.hits"},
+		},
+		{
+			name: "catches a write reached through a helper chain", analyzer: SharedState,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+var count int
+func bump() { count = count + 1 }
+func note() { bump() }
+type listener struct{}
+func (listener) OnDeliver(v float64) { note() }`,
+			want: []string{"writes package-level var routeless/internal/fix.count"},
+		},
+		{
+			name: "clean: sync-guarded state is shard-visible but race-free", analyzer: SharedState,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import "sync/atomic"
+var hits atomic.Uint64
+type listener struct{}
+func (listener) OnReceive(rssi float64) { hits = hits }`,
+		},
+		{
+			name: "clean: writes outside handler reach", analyzer: SharedState,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+var setupDone bool
+func Setup() { setupDone = true }
+type listener struct{}
+func (listener) OnReceive(rssi float64) {}`,
+		},
+		{
+			name: "suppressed with a reasoned directive", analyzer: SharedState,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+var hits int
+type listener struct{}
+func (listener) OnReceive(rssi float64) {
+	//lint:ignore sharedstate run-scoped counter, merged after the run
+	hits++
+}`,
 		},
 	})
 }

@@ -24,40 +24,190 @@ var randConstructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
-// GlobalRand forbids package-level math/rand functions (rand.Float64,
-// rand.Intn, rand.Seed, ...) everywhere in the repository. Draws from
-// the global source depend on process-wide call order — one extra
-// consumer anywhere perturbs every later draw — and rand.Seed mutates
-// shared state. All simulation randomness must flow through
-// internal/rng stream derivation or Kernel.Rand().
+// GlobalRand enforces seed-derived randomness in two layers.
+//
+// The syntactic core forbids package-level math/rand functions
+// (rand.Float64, rand.Intn, rand.Seed, ...) everywhere in the
+// repository: draws from the global source depend on process-wide call
+// order — one extra consumer anywhere perturbs every later draw — and
+// rand.Seed mutates shared state.
+//
+// The flow-aware layer tracks *rand.Rand provenance through helpers,
+// assignments, and returns (see taint.go), so a stream laundered
+// through any number of functions is still checked against its root:
+//
+//   - a package-level *rand.Rand variable is itself a process-shared
+//     stream (same call-order hazard as the global source) and is
+//     flagged at its declaration; drawing from one through any helper
+//     chain is flagged at the draw;
+//   - a raw rand.New/rand.NewSource whose seed does not trace to
+//     rng.Derive (or to a parameter, making it the caller's
+//     obligation) is flagged at the constructor — and when a helper
+//     forwards its seed parameter into the constructor, at the call
+//     site that supplies a fixed seed.
+//
+// Accepted roots, no matter how many helpers they pass through:
+// rng.New, rng.ForNode, Kernel.Rand(), and rand.New(rand.NewSource(s))
+// where s derives from rng.Derive or arrives as a parameter.
 var GlobalRand = &Analyzer{
 	Name: "globalrand",
-	Doc:  "forbid package-level math/rand functions; use internal/rng streams or Kernel.Rand()",
+	Doc:  "forbid process-global math/rand and streams not rooted in seed derivation; use internal/rng streams or Kernel.Rand()",
 	Run:  runGlobalRand,
+}
+
+// randCtorHomePkgs returns whether the unit is a sanctioned home for
+// raw rand constructors: the stream-derivation package itself and the
+// kernel (whose master stream is the seed's first consumer).
+func inRandCtorHome(p *Pass) bool {
+	return pathHasSuffix(p.Path, "internal/rng") || pathHasSuffix(p.Path, "internal/sim")
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return len(path) > len(suffix) &&
+		path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
 }
 
 func runGlobalRand(p *Pass) {
 	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkgPath := p.PkgNameOf(sel)
-			if !randPackages[pkgPath] {
-				return true
-			}
-			obj, ok := p.Info.Uses[sel.Sel]
-			if !ok {
-				return true
-			}
-			fn, ok := obj.(*types.Func)
-			if !ok || randConstructors[fn.Name()] {
-				return true // types, vars, and seeded constructors are fine
-			}
-			p.Reportf(sel.Pos(), "package-level %s.%s draws from the process-global source; derive a stream with internal/rng or use Kernel.Rand()",
-				pathBase(pkgPath), fn.Name())
-			return true
-		})
+		runGlobalRandSyntactic(p, f)
+		if p.Prog != nil && (p.InInternal() || p.InCmd()) && !p.IsTestFile(f.Pos()) {
+			runGlobalRandFlow(p, f)
+		}
 	}
+}
+
+// runGlobalRandSyntactic is the original per-file rule: no
+// package-level math/rand functions anywhere.
+func runGlobalRandSyntactic(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath := p.PkgNameOf(sel)
+		if !randPackages[pkgPath] {
+			return true
+		}
+		obj, ok := p.Info.Uses[sel.Sel]
+		if !ok {
+			return true
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || randConstructors[fn.Name()] {
+			return true // types, vars, and seeded constructors are fine
+		}
+		p.Reportf(sel.Pos(), "package-level %s.%s draws from the process-global source; derive a stream with internal/rng or use Kernel.Rand()",
+			pathBase(pkgPath), fn.Name())
+		return true
+	})
+}
+
+// runGlobalRandFlow is the interprocedural layer: package-level stream
+// declarations, draws from globally rooted streams, and constructors
+// fed underived seeds.
+func runGlobalRandFlow(p *Pass, f *ast.File) {
+	if p.Info == nil {
+		return
+	}
+	// Package-level *rand.Rand / rand.Source declarations.
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if obj := p.Info.Defs[name]; obj != nil && globalVarKey(obj) != "" &&
+					isRandValueType(obj.Type()) {
+					p.Reportf(name.Pos(), "package-level %s %s is a process-shared stream: draw order couples every consumer; derive per-consumer streams with internal/rng instead",
+						typeString(obj.Type()), name.Name)
+				}
+			}
+		}
+	}
+
+	// Walk every function body of this file with provenance context.
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if node := p.Prog.NodeFor(fd); node != nil {
+			checkRandFlowBody(p, node)
+		}
+	}
+}
+
+// checkRandFlowBody reports flow violations in one function body and
+// recurses into its closures.
+func checkRandFlowBody(p *Pass, n *FuncNode) {
+	prog := p.Prog
+	env := prog.buildProvEnv(n)
+	body := n.body()
+	inCtorHome := inRandCtorHome(p)
+	ast.Inspect(body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			if child := prog.NodeFor(lit); child != nil {
+				checkRandFlowBody(p, child)
+			}
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, _ := prog.resolveCallee(n, n.Unit, call.Fun)
+
+		// Raw constructor with an underived seed. The rng and sim
+		// packages are the sanctioned homes of raw construction.
+		if callee != "" && matchesAny(callee, rawRandCtors) && !inCtorHome {
+			// Report only the outermost constructor of a
+			// rand.New(rand.NewSource(s)) nest.
+			if sum := prog.classifyCtorSeed(n, call, env); sum.kind == provRaw {
+				p.Reportf(call.Pos(), "stream constructed from a fixed seed, not derived from the master seed; use rng.New/rng.ForNode or derive the seed with rng.Derive")
+				return false
+			}
+			return false
+		}
+
+		// A helper that forwards its seed parameter into a raw
+		// constructor shifts the obligation here: feeding it a fixed
+		// literal builds an underived stream through the helper.
+		if callee != "" {
+			if _, inProg := prog.Funcs[callee]; inProg && !matchesAny(callee, sanctionedRandCtors) {
+				sum := prog.RandSummary(callee)
+				if sum.kind == provParam {
+					if arg := argAt(call, sum.index); arg != nil {
+						argT := typeOf(n.Unit, arg)
+						if argT != nil && !isRandValueType(argT) {
+							if s := prog.classifySeed(n, arg, env); s.kind == provRaw {
+								p.Reportf(call.Pos(), "%s turns its seed argument into a random stream, and this call supplies a fixed seed; derive it with rng.Derive so the stream is a function of the master seed",
+									shortID(callee))
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Draws from a globally rooted stream, through any helper
+		// chain.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if t := p.TypeOf(sel.X); isRandValueType(t) {
+				if sum := prog.classifyRand(n, sel.X, env); sum.kind == provGlobal {
+					p.Reportf(call.Pos(), "draws from package-level stream %s: shared streams make draw order load-bearing across consumers; derive a local stream with internal/rng",
+						sum.key)
+				}
+			}
+		}
+		return true
+	})
 }

@@ -58,6 +58,13 @@ type Pass struct {
 	Info  *types.Info
 	Path  string // import path of the unit, e.g. "routeless/internal/sim"
 
+	// Prog is the whole-module view backing the flow-aware rules:
+	// call graph, taint summaries, entry points. May be nil (a bare
+	// Run on one unit), in which case flow-aware rules degrade to
+	// their syntactic core and the sharedstate analyzer is silent.
+	Prog *Program
+
+	unit  *Unit
 	rule  string
 	diags *[]Diagnostic
 }
@@ -189,12 +196,9 @@ type Unit struct {
 	Path  string
 }
 
-// Run applies every analyzer to the unit and returns surviving
-// diagnostics sorted by position. Suppressed findings are dropped;
-// malformed directives and directives naming unknown rules are
-// reported.
-func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
+// runRaw applies every analyzer to one unit of prog, appending raw
+// (unsuppressed) findings to raw.
+func runRaw(prog *Program, u *Unit, analyzers []*Analyzer, raw *[]Diagnostic) {
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:  u.Fset,
@@ -202,14 +206,21 @@ func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
 			Pkg:   u.Pkg,
 			Info:  u.Info,
 			Path:  u.Path,
+			Prog:  prog,
+			unit:  u,
 			rule:  a.Name,
-			diags: &raw,
+			diags: raw,
 		}
 		a.Run(pass)
 	}
+}
 
-	var out []Diagnostic
-	dirs := parseIgnores(u.Fset, u.Files, &out)
+// filterUnit applies u's //lint:ignore directives to raw findings,
+// appending survivors (plus directive hygiene findings) to out, and
+// returns the parsed directives with their used marks for auditing
+// along with the number of findings they silenced.
+func filterUnit(u *Unit, raw []Diagnostic, out *[]Diagnostic) ([]*ignoreDirective, int) {
+	dirs := parseIgnores(u.Fset, u.Files, out)
 	// Directives are validated against the full registry, not the
 	// analyzers selected for this run: a -rules subset must not turn
 	// legitimate suppressions of unselected rules into findings.
@@ -217,21 +228,28 @@ func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	silenced := 0
 	for _, d := range raw {
-		if !suppressed(d, dirs) {
-			out = append(out, d)
+		if suppressed(d, dirs) {
+			silenced++
+		} else {
+			*out = append(*out, d)
 		}
 	}
 	for _, dir := range dirs {
 		if dir.rule != "*" && !known[dir.rule] {
-			out = append(out, Diagnostic{
+			dir.used = true // already reported as unknown; not also stale
+			*out = append(*out, Diagnostic{
 				Pos:     token.Position{Filename: dir.file, Line: dir.line},
 				Rule:    "ignore",
 				Message: fmt.Sprintf("directive suppresses unknown rule %q", dir.rule),
 			})
 		}
 	}
+	return dirs, silenced
+}
 
+func sortDiagnostics(out []Diagnostic) {
 	slices.SortFunc(out, func(x, y Diagnostic) int {
 		a, b := x.Pos, y.Pos
 		if c := cmp.Compare(a.Filename, b.Filename); c != 0 {
@@ -242,7 +260,77 @@ func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return cmp.Compare(a.Column, b.Column)
 	})
+}
+
+// RunUnit applies every analyzer to one unit with prog supplying the
+// flow-aware context, returning surviving diagnostics sorted by
+// position.
+func RunUnit(prog *Program, u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	runRaw(prog, u, analyzers, &raw)
+	var out []Diagnostic
+	_, _ = filterUnit(u, raw, &out)
+	sortDiagnostics(out)
 	return out
+}
+
+// Run applies every analyzer to the unit in isolation: the flow-aware
+// context is built from this one unit, so intraprocedural and
+// intra-package interprocedural facts are available, cross-package ones
+// are not.
+func Run(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	return RunUnit(BuildProgram([]*Unit{u}), u, analyzers)
+}
+
+// StaleDirective is a //lint:ignore comment that suppressed nothing in
+// a full-rule-set run: the finding it once silenced is gone and the
+// directive is rotting in place.
+type StaleDirective struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+}
+
+func (s StaleDirective) String() string {
+	return fmt.Sprintf("%s: audit: //lint:ignore %s suppresses nothing (stale; delete it)", s.Pos, s.Rule)
+}
+
+// Result is the outcome of a whole-program analysis.
+type Result struct {
+	Diags      []Diagnostic     // surviving findings, sorted by position
+	Stale      []StaleDirective // directives that suppressed nothing
+	Suppressed int              // findings silenced by directives
+}
+
+// Analyze runs analyzers over every unit of prog with full flow-aware
+// context and directive auditing. Stale detection is only meaningful
+// when analyzers is the full rule set: a subset run would report
+// directives for unselected rules as stale.
+func Analyze(prog *Program, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	for _, u := range prog.Units {
+		var raw []Diagnostic
+		runRaw(prog, u, analyzers, &raw)
+		dirs, silenced := filterUnit(u, raw, &res.Diags)
+		res.Suppressed += silenced
+		for _, dir := range dirs {
+			if !dir.used {
+				res.Stale = append(res.Stale, StaleDirective{
+					Pos:    token.Position{Filename: dir.file, Line: dir.line},
+					Rule:   dir.rule,
+					Reason: dir.reason,
+				})
+			}
+		}
+	}
+	sortDiagnostics(res.Diags)
+	slices.SortFunc(res.Stale, func(a, b StaleDirective) int {
+		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Pos.Line, b.Pos.Line)
+	})
+	return res
 }
 
 // All returns the full determinism rule set in stable order.
@@ -257,5 +345,6 @@ func All() []*Analyzer {
 		StatsMut,
 		SharedCap,
 		FaultRand,
+		SharedState,
 	}
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -9,8 +10,9 @@ import (
 // effectCalls are method/function names whose invocation inside a map
 // iteration makes iteration order observable: scheduling simulation
 // events, handing packets down the stack, or writing output. The set is
-// deliberately name-based — determinism rules must keep working even
-// with partial type information for dependencies.
+// the fallback for calls the flow layer cannot resolve to a body
+// (interface dispatch, partial type information) — resolved calls are
+// judged by actual sink reachability instead.
 var effectCalls = map[string]bool{
 	// event scheduling
 	"Schedule": true, "At": true, "ScheduleAt": true,
@@ -32,14 +34,26 @@ var sortCalls = map[string]bool{
 	"SortFunc": true, "SortStableFunc": true,
 }
 
-// MapOrder flags `range` over a map whose body schedules events, sends
-// packets, accumulates results, or writes output. Go randomizes map
-// iteration order per run, so any such loop emits events in a different
-// order every execution — the canonical way simulators silently lose
-// determinism. Collect the keys, sort them, and iterate the sorted
-// slice instead.
+// MapOrder flags `range` over a map whose body reaches an
+// order-observable sink. Go randomizes map iteration order per run, so
+// any such loop emits events in a different order every execution — the
+// canonical way simulators silently lose determinism. Collect the keys,
+// sort them, and iterate the sorted slice instead.
 //
-// Two shapes of that very fix are recognized and left alone:
+// The rule is sink-aware where the call graph can resolve the callee:
+// a call inside the body is an effect only if the callee (transitively)
+// reaches the event schedule, the run journal, a metrics series, packet
+// transmission, or process output. A resolved helper that provably
+// reaches no sink is not flagged, no matter what it is named; an
+// unresolvable call falls back to the name heuristics above.
+//
+// The flow layer also closes the cross-function leak: ranging over a
+// slice returned (directly or through an assignment) by a function that
+// built it in map-iteration order without sorting is flagged the same
+// way — that is exactly how nondeterministic order escapes the function
+// the syntactic rule was staring at.
+//
+// Two shapes of the canonical fix are recognized and left alone:
 //
 //   - the single-statement key collection
 //     `for k := range m { keys = append(keys, k) }`;
@@ -48,7 +62,7 @@ var sortCalls = map[string]bool{
 //     the filter-then-sort idiom.
 var MapOrder = &Analyzer{
 	Name: "maporder",
-	Doc:  "flag effectful iteration over map ranges; sort keys first",
+	Doc:  "flag sink-reaching iteration over map ranges (and map-ordered slices); sort keys first",
 	Run:  runMapOrder,
 }
 
@@ -56,31 +70,144 @@ func runMapOrder(p *Pass) {
 	for _, f := range p.Files {
 		sorts := collectSorts(p, f)
 		ast.Inspect(f, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
+			fd, ok := n.(*ast.FuncDecl)
 			if !ok {
 				return true
 			}
-			t := p.TypeOf(rs.X)
-			if t == nil {
-				return true
+			var encl *FuncNode
+			if p.Prog != nil {
+				encl = p.Prog.NodeFor(fd)
 			}
-			if _, isMap := t.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			if isKeyCollection(rs) {
-				return true
-			}
-			eff, found := findEffect(rs)
-			if !found {
-				return true
-			}
-			if eff.appendVar != "" && sortedAfter(sorts, eff.appendVar, rs.End()) {
-				return true // filter-then-sort idiom
-			}
-			p.Reportf(eff.pos, "map iteration order is randomized, but this body %s; collect and sort the keys first", eff.what)
-			return true
+			checkMapRanges(p, fd.Body, encl, sorts)
+			return false
 		})
 	}
+}
+
+// checkMapRanges inspects one function body, descending into nested
+// literals with their own flow nodes so callee resolution stays
+// accurate.
+func checkMapRanges(p *Pass, body *ast.BlockStmt, encl *FuncNode, sorts map[string][]token.Pos) {
+	if body == nil {
+		return
+	}
+	mapOrdered := mapOrderedLocals(p, body, encl)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			child := encl
+			if p.Prog != nil {
+				if c := p.Prog.NodeFor(n); c != nil {
+					child = c
+				}
+			}
+			checkMapRanges(p, n.Body, child, sorts)
+			return false
+		case *ast.RangeStmt:
+			checkOneRange(p, n, encl, sorts, mapOrdered)
+		}
+		return true
+	})
+}
+
+// checkOneRange applies the rule to a single range statement.
+func checkOneRange(p *Pass, rs *ast.RangeStmt, encl *FuncNode, sorts map[string][]token.Pos, mapOrdered map[string]string) {
+	t := p.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	src := "" // non-empty: a map-ordered slice, naming its producer
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice || p.Prog == nil || encl == nil {
+			return
+		}
+		src = mapOrderedSource(p, rs.X, encl, mapOrdered)
+		if src == "" {
+			return
+		}
+	}
+	if isKeyCollection(rs) {
+		return
+	}
+	eff, found := findEffect(p, rs, encl)
+	if !found {
+		return
+	}
+	if eff.appendVar != "" && sortedAfter(sorts, eff.appendVar, rs.End()) {
+		return // filter-then-sort idiom
+	}
+	if src != "" {
+		p.Reportf(eff.pos, "this slice was built in map-iteration order by %s and never sorted, but this body %s; sort it (or sort inside %s) first", src, eff.what, src)
+		return
+	}
+	p.Reportf(eff.pos, "map iteration order is randomized, but this body %s; collect and sort the keys first", eff.what)
+}
+
+// mapOrderedLocals finds local slices bound from a call to a function
+// that returns in map-iteration order (`keys := f()`), minus any the
+// body later sorts.
+func mapOrderedLocals(p *Pass, body *ast.BlockStmt, encl *FuncNode) map[string]string {
+	if p.Prog == nil || encl == nil {
+		return nil
+	}
+	out := map[string]string{}
+	inspectShallow(body, func(node ast.Node) {
+		asg, ok := node.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if name := mapOrderedCallName(p, asg.Rhs[0], encl); name != "" {
+			out[id.Name] = name
+		}
+	})
+	if len(out) == 0 {
+		return out
+	}
+	for name := range collectSortsUnit(unitOf(p, encl), body) {
+		delete(out, name)
+	}
+	return out
+}
+
+// mapOrderedSource names the producer when e ranges over a map-ordered
+// slice: either a direct call result or a local bound from one.
+func mapOrderedSource(p *Pass, e ast.Expr, encl *FuncNode, mapOrdered map[string]string) string {
+	e = ast.Unparen(e)
+	if name := mapOrderedCallName(p, e, encl); name != "" {
+		return name
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return mapOrdered[id.Name]
+	}
+	return ""
+}
+
+// mapOrderedCallName resolves e as a call to a map-order-returning
+// function and returns its display name, or "".
+func mapOrderedCallName(p *Pass, e ast.Expr, encl *FuncNode) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	callee, _ := p.Prog.resolveCallee(encl, unitOf(p, encl), call.Fun)
+	if callee == "" {
+		return ""
+	}
+	if _, ok := p.Prog.Funcs[callee]; ok && p.Prog.ReturnsMapOrdered(callee) {
+		return shortID(callee)
+	}
+	return ""
+}
+
+func unitOf(p *Pass, encl *FuncNode) *Unit {
+	if encl != nil {
+		return encl.Unit
+	}
+	return p.unit
 }
 
 // isKeyCollection recognizes `for k := range m { keys = append(keys, k) }`
@@ -165,10 +292,44 @@ type effect struct {
 	appendVar string // set when the only effects are appends to this one variable
 }
 
+// callEffect judges one call inside a range body. Resolved callees with
+// bodies are judged by transitive sink reachability — a helper that
+// provably reaches no sink is not an effect regardless of its name;
+// resolved bodiless callees by the base sink table; everything else by
+// the name heuristics.
+func callEffect(p *Pass, encl *FuncNode, call *ast.CallExpr) (string, bool) {
+	if p.Prog != nil && encl != nil {
+		callee, name := p.Prog.resolveCallee(encl, unitOf(p, encl), call.Fun)
+		if callee != "" {
+			if _, hasBody := p.Prog.Funcs[callee]; hasBody {
+				reach := baseSinkOf(callee) | p.Prog.SinkReach(callee)
+				if reach == 0 {
+					return "", false
+				}
+				return fmt.Sprintf("calls %s, which reaches %s", name, reach.Describe()), true
+			}
+			if reach := baseSinkOf(callee); reach != 0 {
+				return fmt.Sprintf("calls %s, which reaches %s", name, reach.Describe()), true
+			}
+		}
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if effectCalls[fn.Sel.Name] {
+			return "calls " + fn.Sel.Name, true
+		}
+	case *ast.Ident:
+		if fn.Name == "print" || fn.Name == "println" {
+			return "writes output", true
+		}
+	}
+	return "", false
+}
+
 // findEffect scans the range body for order-observable operations. When
 // every effect is an append to the same outer variable, appendVar names
 // it so the caller can apply the filter-then-sort exemption.
-func findEffect(rs *ast.RangeStmt) (effect, bool) {
+func findEffect(p *Pass, rs *ast.RangeStmt, encl *FuncNode) (effect, bool) {
 	// Names declared inside the body: appending to those is purely
 	// local and invisible outside one iteration.
 	local := map[string]bool{}
@@ -212,15 +373,8 @@ func findEffect(rs *ast.RangeStmt) (effect, bool) {
 		case *ast.SendStmt:
 			record(n.Pos(), "sends on a channel")
 		case *ast.CallExpr:
-			switch fn := n.Fun.(type) {
-			case *ast.SelectorExpr:
-				if effectCalls[fn.Sel.Name] {
-					record(n.Pos(), "calls "+fn.Sel.Name)
-				}
-			case *ast.Ident:
-				if fn.Name == "print" || fn.Name == "println" {
-					record(n.Pos(), "writes output")
-				}
+			if what, ok := callEffect(p, encl, n); ok {
+				record(n.Pos(), what)
 			}
 		case *ast.AssignStmt:
 			// x = append(x, ...) where x outlives the loop body.

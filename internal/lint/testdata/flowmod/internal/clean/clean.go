@@ -1,0 +1,52 @@
+// Package clean carries shapes that LOOK violating to the syntactic
+// rules but are provably fine under flow analysis — the false-positive
+// pressure the sink-aware upgrade exists to remove.
+package clean
+
+import (
+	"slices"
+
+	"flowmod/internal/sim"
+)
+
+// registry has a method named Schedule that provably reaches no sink.
+type registry struct{ n int }
+
+// Schedule merely counts; the name alone must not trigger maporder.
+func (r *registry) Schedule(d float64, f func()) { r.n++ }
+
+// Tally iterates a map calling the sink-free Schedule: clean.
+func Tally(m map[int]int, r *registry) {
+	for range m {
+		r.Schedule(0, nil)
+	}
+}
+
+// SortedFlush collects, sorts, then schedules: the canonical fix.
+func SortedFlush(k *sim.Kernel, m map[int]float64) {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		k.At(sim.Time(id), func() {})
+	}
+}
+
+// sortedKeys returns keys in sorted order: callers may range freely.
+func sortedKeys(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// FlushSorted ranges over a sorted helper result: clean.
+func FlushSorted(k *sim.Kernel, m map[int]float64) {
+	for _, id := range sortedKeys(m) {
+		k.At(sim.Time(id), func() {})
+	}
+}

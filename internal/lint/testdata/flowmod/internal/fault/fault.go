@@ -1,0 +1,13 @@
+// Package fault mirrors the fault plane: the flow-aware faultrand rule
+// must catch streams laundered through helpers even though no
+// *rand.Rand ever crosses a parameter list.
+package fault
+
+import "math/rand"
+
+// stream launders a fixed-seed generator through a helper; the
+// syntactic parameter ban cannot see it.
+func stream() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// Jitter draws from the laundered stream.
+func Jitter() float64 { return stream().Float64() }

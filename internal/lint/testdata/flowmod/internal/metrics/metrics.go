@@ -1,0 +1,24 @@
+// Package metrics mirrors the real observability sinks: an
+// order-sensitive journal and a last-write-wins gauge.
+package metrics
+
+// Record is one journal row.
+type Record struct {
+	Name  string
+	Value float64
+}
+
+// Journal accumulates records in write order.
+type Journal struct{ records []Record }
+
+// Write appends one record; write order is observable.
+func (j *Journal) Write(r Record) { j.records = append(j.records, r) }
+
+// Len reports the record count.
+func (j *Journal) Len() int { return len(j.records) }
+
+// Gauge is a point-in-time value; Set is last-write-wins.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }

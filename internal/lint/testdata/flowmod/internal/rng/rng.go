@@ -1,0 +1,26 @@
+// Package rng mirrors the real stream-derivation package: Derive maps
+// (seed, labels) to a child seed, New/ForNode build sanctioned streams.
+package rng
+
+import "math/rand"
+
+// Derive hashes labels into seed.
+func Derive(seed int64, labels ...string) int64 {
+	h := seed
+	for _, l := range labels {
+		for _, c := range l {
+			h = h*1099511628211 + int64(c)
+		}
+	}
+	return h
+}
+
+// New builds a stream derived from seed and labels.
+func New(seed int64, labels ...string) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, labels...)))
+}
+
+// ForNode derives a per-node stream.
+func ForNode(seed int64, node int) *rand.Rand {
+	return New(seed, "node", string(rune(node)))
+}

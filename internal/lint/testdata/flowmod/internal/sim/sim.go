@@ -1,0 +1,39 @@
+// Package sim is a miniature of the real kernel: just enough surface
+// (Schedule/At/NewTimer, a master stream) for the flow-aware rules to
+// recognize entry points and sinks by ID suffix.
+package sim
+
+import "math/rand"
+
+// Time mirrors the real simulated-time scalar.
+type Time float64
+
+// Kernel is the mini event kernel.
+type Kernel struct {
+	queue []func()
+	rng   *rand.Rand
+}
+
+// NewKernel seeds the master stream; this package is a sanctioned home
+// for raw constructors, like the real internal/sim.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Schedule enqueues f after d.
+func (k *Kernel) Schedule(d Time, f func()) { k.queue = append(k.queue, f) }
+
+// At enqueues f at absolute time t.
+func (k *Kernel) At(t Time, f func()) { k.queue = append(k.queue, f) }
+
+// Rand exposes the master stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Timer mirrors the real one-shot timer.
+type Timer struct{ k *Kernel }
+
+// NewTimer arms a timer; its callback is an event-handler entry point.
+func NewTimer(k *Kernel, d Time, f func()) *Timer {
+	k.Schedule(d, f)
+	return &Timer{k: k}
+}
