@@ -12,6 +12,8 @@
 //	simbench -workers 4           # sweep worker count for every figure
 //	simbench -scaling 1,2,4,8     # per-figure multicore scaling study
 //	simbench -scaling 1,4 -min-speedup 1.6   # CI scaling gate
+//	simbench -tiles 1,4           # intra-run tiled-PDES scaling study
+//	simbench -tiles 1,4 -min-tiled-speedup 1.6 -out BENCH_7.json
 //	simbench -baseline BENCH_2.json -max-regress 0.20
 //	simbench -journal runs.jsonl  # append a JSONL run journal
 //	simbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
@@ -23,10 +25,20 @@
 // With -scaling, every selected figure is measured once per listed
 // worker count; each figure's report entry records the single-worker
 // measurement plus a scaling series (events/sec, allocs/event, speedup
-// relative to 1 worker). With -min-speedup, the command exits non-zero
-// if the aggregate speedup at the highest worker count falls short —
-// unless GOMAXPROCS is below that worker count, in which case the gate
-// is skipped (a 1-core runner cannot measure parallel speedup).
+// relative to 1 worker). Worker counts above GOMAXPROCS are clamped
+// away up front — the report records both the requested and the
+// measured list plus a note explaining any clamping, so a small box
+// still measures what it can instead of silently skipping the study.
+// With -min-speedup, the command exits non-zero if the aggregate
+// speedup at the highest measured worker count falls short; when the
+// clamped list has no parallel point (a 1-core runner), the gate is
+// skipped with the reason recorded in the report.
+//
+// With -tiles, a single large flood topology is measured once per
+// listed intra-run tile count on the tiled PDES engine (-min-tiled-speedup
+// gates the speedup at the highest measured tile count the same way).
+// Tiled runs are bitwise identical to sequential ones, so this study
+// measures pure engine overhead/speedup, not workload drift.
 //
 // With -journal, the fig1/fig3/fig4 sweeps write one record per run
 // (config, seed, final metric snapshot) and every measured figure adds
@@ -75,8 +87,20 @@ type ScalingPoint struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// TiledPoint is the tiled-PDES study's cost at one intra-run tile
+// count (same topology, same seed, same output bytes — only the tile
+// count changes).
+type TiledPoint struct {
+	Tiles        int     `json:"tiles"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is events/sec relative to the 1-tile point.
+	Speedup float64 `json:"speedup"`
+}
+
 // Report is the schema of the committed benchmark snapshots
-// (BENCH_2.json, BENCH_4.json).
+// (BENCH_2.json, BENCH_4.json, BENCH_7.json).
 type Report struct {
 	GoVersion         string         `json:"go_version"`
 	GOMAXPROCS        int            `json:"gomaxprocs"`
@@ -86,6 +110,17 @@ type Report struct {
 	TotalEvents       uint64         `json:"total_events"`
 	TotalWallSeconds  float64        `json:"total_wall_seconds"`
 	TotalEventsPerSec float64        `json:"total_events_per_sec"`
+	// ScalingRequested/ScalingMeasured record the -scaling study's
+	// requested worker list and the GOMAXPROCS-clamped list actually
+	// measured; ScalingNote explains any difference (never silent).
+	ScalingRequested []int  `json:"scaling_requested,omitempty"`
+	ScalingMeasured  []int  `json:"scaling_measured,omitempty"`
+	ScalingNote      string `json:"scaling_note,omitempty"`
+	// Tiled holds the -tiles intra-run study; TiledNote records why a
+	// point or the gate was skipped on boxes too small to measure it.
+	Tiled        []TiledPoint `json:"tiled,omitempty"`
+	TiledSpeedup float64      `json:"tiled_speedup,omitempty"`
+	TiledNote    string       `json:"tiled_note,omitempty"`
 	// BenchmarkFig1 preserves the hand-recorded `go test -bench`
 	// before/after comparison from the baseline report, so regenerating
 	// the snapshot does not lose the historical record.
@@ -109,6 +144,19 @@ func fig34Config() experiments.Fig34Config {
 		Nodes: 150, Terrain: 1100, Duration: 20,
 		Pairs: []int{2, 6}, Seeds: []int64{1},
 		FailurePcts: []float64{0, 0.10}, Fig4Pairs: 6,
+	}
+}
+
+// tiledConfig is the -tiles study workload: one large flood topology
+// at Figure-1 density (100 nodes per 1000×1000 m → 1200 nodes in
+// 3575×3575 m), one interval, one seed, sweep workers pinned to 1 so
+// the intra-run tile workers are the only parallelism being measured.
+func tiledConfig(tiles int) experiments.Fig1Config {
+	return experiments.Fig1Config{
+		Nodes: 1200, Terrain: 3575, Connections: 60,
+		Intervals: []float64{0.5},
+		Duration:  5, Seeds: []int64{1},
+		Workers: 1, Tiles: tiles,
 	}
 }
 
@@ -219,8 +267,9 @@ func checkRegression(base *Report, cur *Report, maxRegress float64) []string {
 	return failed
 }
 
-// parseScaling parses the -scaling worker list, sorted ascending.
-func parseScaling(s string) ([]int, error) {
+// parseCounts parses a comma-separated positive-integer list flag
+// (-scaling worker counts, -tiles tile counts), sorted ascending.
+func parseCounts(name, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -228,12 +277,29 @@ func parseScaling(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		var w int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &w); err != nil || w < 1 {
-			return nil, fmt.Errorf("bad -scaling entry %q (want positive integers)", part)
+			return nil, fmt.Errorf("bad %s entry %q (want positive integers)", name, part)
 		}
 		out = append(out, w)
 	}
 	slices.Sort(out)
-	return out, nil
+	return slices.Compact(out), nil
+}
+
+// clampWorkers caps every requested worker count at GOMAXPROCS and
+// deduplicates: a small box measures the points it can express instead
+// of skipping the study. The returned note ("" when nothing changed)
+// is recorded in the report so clamping is never silent.
+func clampWorkers(requested []int, maxProcs int) (measured []int, note string) {
+	measured = make([]int, 0, len(requested))
+	for _, w := range requested {
+		measured = append(measured, min(w, maxProcs))
+	}
+	slices.Sort(measured)
+	measured = slices.Compact(measured)
+	if !slices.Equal(measured, requested) {
+		note = fmt.Sprintf("worker counts clamped to GOMAXPROCS=%d: requested %v, measured %v", maxProcs, requested, measured)
+	}
+	return measured, note
 }
 
 // aggregateSpeedup computes the whole-suite speedup at the highest
@@ -263,6 +329,85 @@ func aggregateSpeedup(figs []FigureResult, maxW int) (speedup float64, ok bool) 
 	return wall1 / wallN, true
 }
 
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureTiled runs the tiled study workload once at one tile count.
+func measureTiled(tiles int) TiledPoint {
+	runtime.GC()
+	experiments.ResetEventCount()
+	//lint:ignore wallclock wall-time of a whole experiment run, measured outside the event loop
+	start := time.Now()
+	experiments.RunFig1(tiledConfig(tiles))
+	//lint:ignore wallclock closes the timing window opened above, after every kernel has drained
+	elapsed := time.Since(start).Seconds()
+	events := experiments.EventCount()
+	return TiledPoint{
+		Tiles:        tiles,
+		Events:       events,
+		WallSeconds:  elapsed,
+		EventsPerSec: float64(events) / elapsed,
+	}
+}
+
+// runTiledStudy is the -tiles mode: measure the single large flood
+// topology once per tile count, record speedups relative to the 1-tile
+// baseline, and apply the -min-tiled-speedup gate. The gate is skipped
+// — with the reason recorded in the report, never silently — when
+// GOMAXPROCS cannot host one core per tile, since a small box cannot
+// measure parallel speedup no matter how good the engine is.
+func runTiledStudy(rep *Report, tileCounts []int, minTiled float64, out string) int {
+	if tileCounts[0] != 1 {
+		// Speedup needs the sequential baseline.
+		tileCounts = append([]int{1}, tileCounts...)
+	}
+	fmt.Printf("tiled intra-run study: %d-node flood, tile counts %v, GOMAXPROCS=%d\n",
+		tiledConfig(1).Nodes, tileCounts, rep.GOMAXPROCS)
+	var base float64
+	for _, tc := range tileCounts {
+		p := measureTiled(tc)
+		if tc == 1 {
+			base = p.EventsPerSec
+		}
+		if base > 0 {
+			p.Speedup = p.EventsPerSec / base
+		}
+		rep.Tiled = append(rep.Tiled, p)
+		fmt.Printf("tiles=%-3d %12d events %8.2fs %12.0f events/sec %6.2fx\n",
+			tc, p.Events, p.WallSeconds, p.EventsPerSec, p.Speedup)
+	}
+	maxT := tileCounts[len(tileCounts)-1]
+	last := rep.Tiled[len(rep.Tiled)-1]
+	rep.TiledSpeedup = last.Speedup
+	gateFailed := false
+	if rep.GOMAXPROCS < maxT {
+		rep.TiledNote = fmt.Sprintf("tiled speedup not measurable: GOMAXPROCS=%d < %d tiles; gate skipped", rep.GOMAXPROCS, maxT)
+		fmt.Println(rep.TiledNote)
+	} else if minTiled > 0 {
+		fmt.Printf("tiled speedup at %d tiles: %.2fx (gate %.2fx)\n", maxT, rep.TiledSpeedup, minTiled)
+		if rep.TiledSpeedup < minTiled {
+			fmt.Fprintf(os.Stderr, "simbench: tiled speedup %.2fx at %d tiles below required %.2fx\n",
+				rep.TiledSpeedup, maxT, minTiled)
+			gateFailed = true
+		}
+	}
+	if out != "" {
+		if err := writeReport(rep, out); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+	}
+	if gateFailed {
+		return 1
+	}
+	return 0
+}
+
 // gitRev stamps journal records with the checkout's short commit hash;
 // it returns "" outside a git checkout (the field is then omitted).
 func gitRev() string {
@@ -288,6 +433,8 @@ func run() int {
 		workers    = flag.Int("workers", 0, "sweep worker count for every figure (0 = GOMAXPROCS)")
 		scaling    = flag.String("scaling", "", "comma-separated worker counts for a per-figure scaling study, e.g. 1,2,4,8")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail if aggregate speedup at the highest -scaling worker count is below this (0 = no gate)")
+		tilesF     = flag.String("tiles", "", "comma-separated intra-run tile counts for the tiled-PDES study, e.g. 1,4 (replaces the figure suite)")
+		minTiled   = flag.Float64("min-tiled-speedup", 0, "fail if tiled speedup at the highest -tiles count is below this (0 = no gate)")
 		journalF   = flag.String("journal", "", "append a JSONL run journal to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -295,7 +442,12 @@ func run() int {
 	)
 	flag.Parse()
 
-	scalingWorkers, err := parseScaling(*scaling)
+	scalingWorkers, err := parseCounts("-scaling", *scaling)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 2
+	}
+	tileCounts, err := parseCounts("-tiles", *tilesF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		return 2
@@ -361,6 +513,17 @@ func run() int {
 		Quick:      *quick,
 		Workers:    *workers,
 	}
+	if len(scalingWorkers) > 0 {
+		rep.ScalingRequested = slices.Clone(scalingWorkers)
+		scalingWorkers, rep.ScalingNote = clampWorkers(scalingWorkers, rep.GOMAXPROCS)
+		rep.ScalingMeasured = slices.Clone(scalingWorkers)
+		if rep.ScalingNote != "" {
+			fmt.Println("scaling:", rep.ScalingNote)
+		}
+	}
+	if len(tileCounts) > 0 {
+		return runTiledStudy(&rep, tileCounts, *minTiled, *out)
+	}
 	// names pairs base-measurement figures with their scaling reruns:
 	// the base pass measures at -workers, then each -scaling count
 	// re-measures the same figure with only the worker count changed.
@@ -416,9 +579,14 @@ func run() int {
 	gateFailed := false
 	if *minSpeedup > 0 && len(scalingWorkers) > 0 {
 		maxW := scalingWorkers[len(scalingWorkers)-1]
-		if runtime.GOMAXPROCS(0) < maxW {
-			fmt.Printf("scaling gate skipped: GOMAXPROCS=%d < %d workers (cannot measure parallel speedup here)\n",
-				runtime.GOMAXPROCS(0), maxW)
+		reqW := rep.ScalingRequested[len(rep.ScalingRequested)-1]
+		if maxW < reqW {
+			// The clamped list cannot express the worker count the gate
+			// was calibrated for; record the skip, never fail silently.
+			note := fmt.Sprintf("scaling gate skipped: requested %d workers, only %d measurable at GOMAXPROCS=%d",
+				reqW, maxW, rep.GOMAXPROCS)
+			rep.ScalingNote += "; " + note
+			fmt.Println(note)
 		} else if sp, ok := aggregateSpeedup(rep.Figures, maxW); !ok {
 			fmt.Fprintln(os.Stderr, "simbench: -min-speedup set but no figure has both 1-worker and max-worker scaling points")
 			gateFailed = true
@@ -444,12 +612,7 @@ func run() int {
 	}
 
 	if *out != "" {
-		data, err := json.MarshalIndent(&rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "simbench:", err)
-			return 2
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		if err := writeReport(&rep, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			return 2
 		}

@@ -22,7 +22,11 @@
 // on the offending line or the line above. The reason is mandatory.
 // -audit flags directives that no longer suppress anything; because
 // staleness is judged against the full rule set, -audit cannot be
-// combined with a -rules subset.
+// combined with a -rules subset. -audit is also the shard-safety hard
+// gate: it fails when any package-level global is classified both
+// mutable and handler-written in the shardsafety inventory, and no
+// //lint:ignore directive can waive that (suppressions silence
+// diagnostics, not the inventory).
 //
 // The JSON payload carries the findings, the audit result, and the
 // shardsafety/v1 inventory: every event-handler entry point, every
@@ -155,6 +159,18 @@ func main() {
 	if *audit && len(res.Stale) > 0 {
 		failed = true
 	}
+	// -audit is also the shard-safety hard gate: a package-level global
+	// that is both mutable and handler-written breaks the tiled PDES
+	// engine's determinism contract, and unlike the sharedstate
+	// diagnostics this check reads the raw inventory, so a //lint:ignore
+	// cannot waive it.
+	var shardViolations []string
+	if *audit {
+		shardViolations = lint.BuildShardReport(prog).Violations()
+		if len(shardViolations) > 0 {
+			failed = true
+		}
+	}
 
 	if *jsonOut || *report != "" {
 		payload := buildJSON(res, prog)
@@ -186,6 +202,9 @@ func main() {
 			for _, s := range res.Stale {
 				fmt.Println(s)
 			}
+			for _, v := range shardViolations {
+				fmt.Println(v)
+			}
 		}
 	}
 	if len(res.Diags) > 0 {
@@ -193,6 +212,9 @@ func main() {
 	}
 	if *audit && len(res.Stale) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d stale suppression(s)\n", len(res.Stale))
+	}
+	if len(shardViolations) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d shard-safety violation(s): mutable package-level state written from event handlers\n", len(shardViolations))
 	}
 	if failed {
 		os.Exit(1)

@@ -18,10 +18,13 @@
 //	-scale small   reduced scale with the same density (default)
 //
 // Other flags: -seeds N (replications), -duration S, -workers N,
-// -csv (machine-readable output), -width (fig2 map width), -journal F
-// (append a JSONL run journal: per-run metric snapshots for the
-// journaled figures plus one summary record per experiment with the
-// table CSV, git revision, and wall time).
+// -tiles N (intra-run PDES tiling for fig1/fig3/fig4/churn; fig2 and
+// the ablation reruns stay sequential), -csv (machine-readable
+// output), -width (fig2 map width), -journal F (append a JSONL run
+// journal: per-run metric snapshots for the journaled figures plus one
+// summary record per experiment with the table CSV, git revision, and
+// wall time). Tiled runs are bitwise identical to sequential ones, so
+// -tiles changes wall time, never output bytes.
 package main
 
 import (
@@ -60,6 +63,7 @@ func run() int {
 		seeds    = flag.Int("seeds", 3, "independent replications per point")
 		duration = flag.Float64("duration", 0, "traffic seconds per run (0 = scale default)")
 		workers  = flag.Int("workers", 0, "parallel runs (0 = GOMAXPROCS)")
+		tiles    = flag.Int("tiles", 1, "PDES tiles per run for fig1/fig3/fig4/churn (1 = sequential kernel)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		width    = flag.Int("width", 76, "figure 2 map width in characters")
 		journalF = flag.String("journal", "", "append a JSONL run journal to this file")
@@ -67,6 +71,10 @@ func run() int {
 	flag.Parse()
 	if *churn {
 		*exp = "churn"
+	}
+	if *tiles < 1 {
+		fmt.Fprintf(os.Stderr, "wmansim: -tiles must be >= 1 (got %d)\n", *tiles)
+		return 2
 	}
 
 	var journal *metrics.Journal
@@ -91,10 +99,12 @@ func run() int {
 		return 2
 	}
 
-	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
-	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
+	// fig2's path collector shares state across the whole run, so it
+	// stays on the sequential kernel regardless of -tiles.
+	fig1 := experiments.Fig1Config{Seeds: seedList, Workers: *workers, Tiles: *tiles, Duration: *duration, Journal: journal}
+	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Tiles: *tiles, Duration: *duration, Journal: journal}
 	fig2 := experiments.Fig2Config{Seed: seedList[0], Workers: *workers}
-	churnCfg := experiments.ChurnConfig{Seeds: seedList, Workers: *workers, Duration: *duration, Journal: journal}
+	churnCfg := experiments.ChurnConfig{Seeds: seedList, Workers: *workers, Tiles: *tiles, Duration: *duration, Journal: journal}
 	if !full {
 		// Same node density as the paper, quarter the area.
 		fig1.Nodes, fig1.Terrain = 60, 800

@@ -30,6 +30,7 @@ type ChurnConfig struct {
 	Duration float64  // traffic seconds, default 30
 	Seeds    []int64  // default {1,2,3}
 	Workers  int      `json:"-"` // default GOMAXPROCS
+	Tiles    int      `json:"-"` // PDES tiles per run; default 1 (sequential)
 	Lambda   sim.Time // Routeless λ, default 10 ms
 	DataSize int      // CBR payload bytes; default 64
 	Pairs    int      // communicating pairs; default 5
@@ -134,6 +135,7 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 		Seed:            seed,
 		EnsureConnected: true,
 		Runtime:         ctx.Runtime(),
+		Tiles:           cfg.Tiles,
 	})
 	switch proto {
 	case ProtoRouteless:
@@ -149,7 +151,7 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 	}
 
 	var meter stats.Meter
-	meterAll(nw, &meter)
+	tap := newAppTap(nw, &meter)
 
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Pairs)
 	endpoint := make(map[packet.NodeID]bool, 2*cfg.Pairs)
@@ -159,8 +161,8 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 		endpoint[p.Dst] = true
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		fwd.OnSend = meter.PacketSent
-		rev.OnSend = meter.PacketSent
+		tap.watch(fwd)
+		tap.watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)
@@ -179,7 +181,7 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 		c.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
-	return runOut{collect(nw, &meter), snapshotIf(nw, true)}
+	return runOut{collect(nw, tap), snapshotIf(nw, true)}
 }
 
 // ChurnRow is one intensity point of the churn study.

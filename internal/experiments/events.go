@@ -4,6 +4,7 @@ import (
 	//lint:ignore goroutine event counting is a commutative sum across trials; uint64 addition is order-independent, so the total is deterministic even though trial completion order is not
 	"sync/atomic"
 
+	"routeless/internal/node"
 	"routeless/internal/sim"
 )
 
@@ -24,3 +25,7 @@ func EventCount() uint64 { return processed.Load() }
 
 // countEvents folds one finished kernel into the package counter.
 func countEvents(k *sim.Kernel) { processed.Add(k.Processed()) }
+
+// countNetworkEvents folds every kernel of a finished network — all
+// PDES tiles plus the control lane — into the package counter.
+func countNetworkEvents(nw *node.Network) { processed.Add(nw.Processed()) }

@@ -12,6 +12,7 @@ import (
 	"routeless/internal/packet"
 	"routeless/internal/sim"
 	"routeless/internal/stats"
+	"routeless/internal/traffic"
 )
 
 // RunMetrics is one simulation run's outcome in the paper's units.
@@ -37,34 +38,108 @@ func (a *Agg) Add(m RunMetrics) {
 	a.EnergyJ.Add(m.EnergyJ)
 }
 
-// meterAll attaches a delivery meter to every node: any application
-// delivery is scored by creation-time delay and traversed hops. The
-// meter is also exposed on the network registry as app.* series, so a
-// journaled snapshot carries the end-to-end results next to the stack
-// counters.
-func meterAll(nw *node.Network, m *stats.Meter) {
+// appSample is one application delivery as buffered by the tap: its
+// receive time plus the delay/hops the meter scores.
+type appSample struct {
+	at    sim.Time
+	delay float64
+	hops  int
+}
+
+// appTap meters application traffic across all nodes without touching
+// the shared Meter from inside event handlers. Deliveries append to a
+// per-tile buffer (handlers on one tile only write that tile's buffer,
+// so the tap is safe under tiled PDES); fold replays them into the
+// Meter after the run in global time order — on a sequential network
+// that is exactly the append order, so the Welford fold sequence, and
+// hence every journaled app.* value, is unchanged from the inline
+// metering it replaces. Sends are counted from each watched CBR's own
+// counter instead of a shared-callback increment.
+type appTap struct {
+	m      *stats.Meter
+	bufs   [][]appSample
+	cbrs   []*traffic.CBR
+	folded bool
+}
+
+// newAppTap attaches the tap to every node and exposes the (folded)
+// meter on the network registry as the app.* series. Snapshots are
+// taken after collect, which folds first, so journaled values see the
+// complete run.
+func newAppTap(nw *node.Network, m *stats.Meter) *appTap {
+	t := &appTap{m: m, bufs: make([][]appSample, nw.NumTiles())}
 	for _, n := range nw.Nodes {
 		n := n
 		n.OnAppReceive = func(p *packet.Packet) {
-			m.PacketReceived(float64(nw.Kernel.Now()-p.CreatedAt), p.HopCount)
+			now := n.Kernel.Now()
+			t.bufs[n.Tile] = append(t.bufs[n.Tile], appSample{
+				at:    now,
+				delay: float64(now - p.CreatedAt),
+				hops:  p.HopCount,
+			})
 		}
 	}
 	nw.Metrics.Func("app.sent", func() uint64 { return m.Sent })
 	nw.Metrics.Func("app.received", func() uint64 { return m.Received })
 	nw.Metrics.GaugeFunc("app.delay_mean_s", func() float64 { return m.Delay.Mean() })
 	nw.Metrics.GaugeFunc("app.hops_mean", func() float64 { return m.Hops.Mean() })
+	return t
 }
 
-// collect converts a finished network + meter into RunMetrics. Every
+// watch registers a CBR flow whose generation count the fold adds to
+// the meter's Sent.
+func (t *appTap) watch(c *traffic.CBR) { t.cbrs = append(t.cbrs, c) }
+
+// fold replays the buffered deliveries into the meter in (time, tile)
+// order and folds the watched send counters. Idempotent.
+func (t *appTap) fold() {
+	if t.folded {
+		return
+	}
+	t.folded = true
+	for _, c := range t.cbrs {
+		t.m.Sent += c.Sent()
+	}
+	if len(t.bufs) == 1 {
+		for _, s := range t.bufs[0] {
+			t.m.PacketReceived(s.delay, s.hops)
+		}
+		return
+	}
+	// k-way merge; strict < keeps the lowest tile on equal timestamps.
+	idx := make([]int, len(t.bufs))
+	for {
+		best := -1
+		var bestAt sim.Time
+		for ti, b := range t.bufs {
+			if idx[ti] >= len(b) {
+				continue
+			}
+			if best < 0 || b[idx[ti]].at < bestAt {
+				best, bestAt = ti, b[idx[ti]].at
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s := t.bufs[best][idx[best]]
+		idx[best]++
+		t.m.PacketReceived(s.delay, s.hops)
+	}
+}
+
+// collect converts a finished network + tap into RunMetrics. Every
 // experiment run — figures, ablations, and the benchmark configs —
 // funnels through here, so the packet conservation laws are asserted on
 // each of them; a violation is a simulator bug, not a measurement, and
 // panics.
-func collect(nw *node.Network, m *stats.Meter) RunMetrics {
-	countEvents(nw.Kernel)
+func collect(nw *node.Network, t *appTap) RunMetrics {
+	t.fold()
+	countNetworkEvents(nw)
 	if err := nw.CheckInvariants(); err != nil {
 		panic(err)
 	}
+	m := t.m
 	return RunMetrics{
 		Delay:      m.Delay.Mean(),
 		Hops:       m.Hops.Mean(),

@@ -28,6 +28,7 @@ type Fig1Config struct {
 	Duration    float64   // traffic seconds per run; default 30
 	Seeds       []int64   // replications; default {1,2,3}
 	Workers     int       `json:"-"` // parallelism; default GOMAXPROCS
+	Tiles       int       `json:"-"` // PDES tiles per run; default 1 (sequential)
 	Lambda      sim.Time  // SSAF λ and counter-1 max backoff; default 10 ms
 	DataSize    int       // flooded payload bytes; default 64
 
@@ -145,6 +146,7 @@ func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf boo
 		Seed:            seed,
 		EnsureConnected: true,
 		Runtime:         ctx.Runtime(),
+		Tiles:           cfg.Tiles,
 	})
 	var fcfg flood.Config
 	if ssaf {
@@ -156,12 +158,12 @@ func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf boo
 	nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
 
 	var meter stats.Meter
-	meterAll(nw, &meter)
+	tap := newAppTap(nw, &meter)
 	pairs := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Connections)
 	cbrs := make([]*traffic.CBR, len(pairs))
 	for i, p := range pairs {
 		cbrs[i] = traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(interval), cfg.DataSize)
-		cbrs[i].OnSend = meter.PacketSent
+		tap.watch(cbrs[i])
 		cbrs[i].Start()
 	}
 	nw.Run(sim.Time(cfg.Duration))
@@ -169,7 +171,7 @@ func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf boo
 		c.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
-	return runOut{collect(nw, &meter), snapshotIf(nw, cfg.Journal != nil)}
+	return runOut{collect(nw, tap), snapshotIf(nw, cfg.Journal != nil)}
 }
 
 // Fig1Table renders the three panels as one table.

@@ -38,6 +38,7 @@ type Fig34Config struct {
 	Duration float64  // traffic seconds, default 60
 	Seeds    []int64  // default {1,2,3}
 	Workers  int      `json:"-"` // default GOMAXPROCS
+	Tiles    int      `json:"-"` // PDES tiles per run; default 1 (sequential)
 	Lambda   sim.Time // Routeless λ, default 10 ms
 	DataSize int      // CBR payload bytes; default 64
 
@@ -104,6 +105,7 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 		Seed:            seed,
 		EnsureConnected: true,
 		Runtime:         ctx.Runtime(),
+		Tiles:           cfg.Tiles,
 	})
 	switch proto {
 	case ProtoRouteless:
@@ -119,7 +121,7 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 	}
 
 	var meter stats.Meter
-	meterAll(nw, &meter)
+	tap := newAppTap(nw, &meter)
 
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, pairs)
 	endpoint := make(map[packet.NodeID]bool, 2*pairs)
@@ -130,8 +132,8 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 		// "the traffic being bidirectional" (§4.3): both directions.
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		fwd.OnSend = meter.PacketSent
-		rev.OnSend = meter.PacketSent
+		tap.watch(fwd)
+		tap.watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)
@@ -160,7 +162,7 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 		c.Stop()
 	}
 	nw.Run(sim.Time(cfg.Duration) + drainTime)
-	return runOut{collect(nw, &meter), snapshotIf(nw, cfg.Journal != nil)}
+	return runOut{collect(nw, tap), snapshotIf(nw, cfg.Journal != nil)}
 }
 
 // Fig3Row is one x-axis point of the four Figure 3 panels.

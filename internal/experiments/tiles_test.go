@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"routeless/internal/metrics"
+)
+
+// The tiled PDES engine's contract is stronger than speedup: a run
+// split across N tiles must reproduce the sequential journal byte for
+// byte. These tests pin that against the same committed goldens the
+// sequential runs are gated on, at the tile counts CI exercises.
+
+func runFig1Tiled(t *testing.T, tiles int) (journal []byte, csv string) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := tinyFig1()
+	cfg.Tiles = tiles
+	cfg.Journal = metrics.NewJournal(&buf)
+	rows := RunFig1(cfg)
+	if err := cfg.Journal.Err(); err != nil {
+		t.Fatalf("journal write failed: %v", err)
+	}
+	return buf.Bytes(), Fig1Table(rows).CSV()
+}
+
+// TestFig1JournalTileCountInvariant is the worker-count invariance test
+// one level down: tiles change wall time, never bytes.
+func TestFig1JournalTileCountInvariant(t *testing.T) {
+	j1, csv1 := runFig1Tiled(t, 1)
+	for _, tiles := range []int{4, 16} {
+		jt, csvt := runFig1Tiled(t, tiles)
+		if !bytes.Equal(j1, jt) {
+			t.Fatalf("tiles=%d changed journal bytes:\ntiles=1: %s\ntiles=%d: %s", tiles, j1, tiles, jt)
+		}
+		if csv1 != csvt {
+			t.Fatalf("tiles=%d changed table CSV:\ntiles=1:\n%s\ntiles=%d:\n%s", tiles, csv1, tiles, csvt)
+		}
+	}
+}
+
+// TestFig1JournalTiledMatchesGolden gates the tiled engine against the
+// committed sequential golden directly, so a simultaneous drift of the
+// sequential and tiled paths cannot hide behind the invariance test.
+func TestFig1JournalTiledMatchesGolden(t *testing.T) {
+	got, _ := runFig1Tiled(t, 4)
+	want, err := os.ReadFile(filepath.Join("testdata", "fig1_tiny.journal.jsonl"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tiled journal drifted from the sequential golden")
+	}
+}
+
+// TestChurnJournalTileCountInvariant extends the promise to runs with
+// the fault plane active: crash/degrade/jam schedules live on the
+// global control lane and must not shift a byte when the arena tiles.
+func TestChurnJournalTileCountInvariant(t *testing.T) {
+	run := func(tiles int) []byte {
+		var buf bytes.Buffer
+		cfg := tinyChurn()
+		cfg.Tiles = tiles
+		cfg.Journal = metrics.NewJournal(&buf)
+		RunChurn(cfg)
+		if err := cfg.Journal.Err(); err != nil {
+			t.Fatalf("journal write failed: %v", err)
+		}
+		return buf.Bytes()
+	}
+	j1 := run(1)
+	for _, tiles := range []int{4, 16} {
+		jt := run(tiles)
+		if !bytes.Equal(j1, jt) {
+			t.Fatalf("tiles=%d changed churn journal bytes", tiles)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package geo
+
+import "math"
+
+// Tiling partitions a rectangle into a fixed cols×rows lattice of
+// equal tiles. It is the arena decomposition for tiled PDES: every
+// node is assigned to exactly one tile, each tile runs on its own
+// event kernel, and signals that cross a tile border are exchanged at
+// epoch barriers.
+//
+// Assignment uses the same min-inclusive binning as Grid.cellOf: a
+// point exactly on a shared edge belongs to the tile on the
+// higher-coordinate side, and points on (or clamped to) the terrain
+// maximum fall into the last tile. The rule is pure arithmetic on the
+// position, so a point's tile is deterministic and independent of
+// insertion order.
+type Tiling struct {
+	rect  Rect
+	cols  int
+	rows  int
+	tileW float64
+	tileH float64
+}
+
+// NewTiling splits rect into `tiles` tiles arranged as near-square as
+// the count allows: cols is the largest divisor of tiles not exceeding
+// √tiles (so 4 → 2×2, 16 → 4×4, 8 → 2×4, primes degenerate to 1×n).
+func NewTiling(rect Rect, tiles int) Tiling {
+	if tiles < 1 {
+		panic("geo: tiling needs at least one tile")
+	}
+	cols := 1
+	for d := int(math.Sqrt(float64(tiles))); d >= 1; d-- {
+		if tiles%d == 0 {
+			cols = d
+			break
+		}
+	}
+	rows := tiles / cols
+	return Tiling{
+		rect:  rect,
+		cols:  cols,
+		rows:  rows,
+		tileW: rect.Width() / float64(cols),
+		tileH: rect.Height() / float64(rows),
+	}
+}
+
+// Tiles returns the total tile count.
+func (t Tiling) Tiles() int { return t.cols * t.rows }
+
+// Cols returns the number of tile columns.
+func (t Tiling) Cols() int { return t.cols }
+
+// Rows returns the number of tile rows.
+func (t Tiling) Rows() int { return t.rows }
+
+// TileOf returns the tile index of p (row-major). Points outside the
+// rectangle are clamped into the border tiles, mirroring Grid.cellOf.
+func (t Tiling) TileOf(p Point) int {
+	cx := int((p.X - t.rect.Min.X) / t.tileW)
+	cy := int((p.Y - t.rect.Min.Y) / t.tileH)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= t.cols {
+		cx = t.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= t.rows {
+		cy = t.rows - 1
+	}
+	return cy*t.cols + cx
+}
+
+// Bounds returns tile i's rectangle. Interior edges are shared: a
+// tile's Max.X equals its right neighbor's Min.X, and TileOf assigns
+// points on that edge to the neighbor (Min is inclusive, Max
+// exclusive, like Rect.Contains).
+func (t Tiling) Bounds(i int) Rect {
+	cx, cy := i%t.cols, i/t.cols
+	return Rect{
+		Min: Point{X: t.rect.Min.X + float64(cx)*t.tileW, Y: t.rect.Min.Y + float64(cy)*t.tileH},
+		Max: Point{X: t.rect.Min.X + float64(cx+1)*t.tileW, Y: t.rect.Min.Y + float64(cy+1)*t.tileH},
+	}
+}

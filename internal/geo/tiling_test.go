@@ -1,0 +1,155 @@
+package geo
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestTilingShapes(t *testing.T) {
+	rect := NewRect(100, 100)
+	cases := []struct {
+		tiles, cols, rows int
+	}{
+		{1, 1, 1},
+		{4, 2, 2},
+		{8, 2, 4},
+		{9, 3, 3},
+		{12, 3, 4},
+		{16, 4, 4},
+		{7, 1, 7}, // primes degenerate to a 1×n strip
+	}
+	for _, c := range cases {
+		tl := NewTiling(rect, c.tiles)
+		if tl.Tiles() != c.tiles || tl.Cols() != c.cols || tl.Rows() != c.rows {
+			t.Errorf("NewTiling(%d): %dx%d (%d tiles), want %dx%d",
+				c.tiles, tl.Cols(), tl.Rows(), tl.Tiles(), c.cols, c.rows)
+		}
+	}
+}
+
+func TestTilingBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTiling(rect, 0) should panic")
+		}
+	}()
+	NewTiling(NewRect(10, 10), 0)
+}
+
+// TestTileOfEdges pins the min-inclusive binning on shared edges and
+// corners: a point exactly on an interior boundary belongs to the
+// higher-coordinate tile, deterministically. The tiled PDES engine
+// leans on this — a node's tile (and hence its kernel and RNG stream)
+// must be pure arithmetic on its position.
+func TestTileOfEdges(t *testing.T) {
+	tl := NewTiling(NewRect(100, 100), 4) // 2×2, shared edges at x=50 and y=50
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{0, 0}, 0},     // origin corner
+		{Point{49.9, 0}, 0},  // just left of the vertical edge
+		{Point{50, 0}, 1},    // exactly on it: higher-coordinate side
+		{Point{0, 50}, 2},    // exactly on the horizontal edge
+		{Point{50, 50}, 3},   // the four-corner point goes up-right
+		{Point{100, 100}, 3}, // terrain max clamps into the last tile
+		{Point{100, 0}, 1},   // right edge of the arena
+		{Point{0, 100}, 2},   // top edge of the arena
+		{Point{-5, -5}, 0},   // outside points clamp into border tiles
+		{Point{105, 105}, 3},
+	}
+	for _, c := range cases {
+		if got := tl.TileOf(c.p); got != c.want {
+			t.Errorf("TileOf(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestTileOfBoundsConsistent cross-checks TileOf against Bounds on a
+// lattice that sweeps across every interior edge: any point strictly
+// inside tile i's rectangle maps back to i, and a point on a shared
+// Max edge maps to the neighbor whose Min it is.
+func TestTileOfBoundsConsistent(t *testing.T) {
+	tl := NewTiling(NewRect(90, 120), 12) // 3×4, uneven tile aspect
+	for i := 0; i < tl.Tiles(); i++ {
+		b := tl.Bounds(i)
+		center := Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+		if got := tl.TileOf(center); got != i {
+			t.Errorf("TileOf(center of tile %d) = %d", i, got)
+		}
+		// Min corner is inclusive.
+		if got := tl.TileOf(b.Min); got != i {
+			t.Errorf("TileOf(Min of tile %d) = %d", i, got)
+		}
+		// The shared right edge belongs to the right neighbor.
+		if i%tl.Cols() < tl.Cols()-1 {
+			edge := Point{b.Max.X, center.Y}
+			if got := tl.TileOf(edge); got != i+1 {
+				t.Errorf("TileOf(right edge of tile %d) = %d, want %d", i, got, i+1)
+			}
+		}
+		// The shared top edge belongs to the upper neighbor.
+		if i/tl.Cols() < tl.Rows()-1 {
+			edge := Point{center.X, b.Max.Y}
+			if got := tl.TileOf(edge); got != i+tl.Cols() {
+				t.Errorf("TileOf(top edge of tile %d) = %d, want %d", i, got, i+tl.Cols())
+			}
+		}
+	}
+}
+
+// TestBoundsTileEverything checks the lattice partitions the rectangle:
+// tile bounds cover it without overlap, adjacent bounds sharing exact
+// float edges (the construction is index*width, so no accumulation).
+func TestBoundsTileEverything(t *testing.T) {
+	rect := NewRect(100, 100)
+	tl := NewTiling(rect, 16)
+	var area float64
+	for i := 0; i < tl.Tiles(); i++ {
+		b := tl.Bounds(i)
+		area += (b.Max.X - b.Min.X) * (b.Max.Y - b.Min.Y)
+		if i%tl.Cols() > 0 {
+			left := tl.Bounds(i - 1)
+			if left.Max.X != b.Min.X {
+				t.Errorf("tiles %d,%d: edge mismatch %v != %v", i-1, i, left.Max.X, b.Min.X)
+			}
+		}
+		if i/tl.Cols() > 0 {
+			below := tl.Bounds(i - tl.Cols())
+			if below.Max.Y != b.Min.Y {
+				t.Errorf("tiles %d,%d: edge mismatch %v != %v", i-tl.Cols(), i, below.Max.Y, b.Min.Y)
+			}
+		}
+	}
+	if want := rect.Width() * rect.Height(); area != want {
+		t.Errorf("tile areas sum to %v, want %v", area, want)
+	}
+}
+
+// TestWithinRadiusAcrossTileBoundary pins that neighbor queries are
+// oblivious to tiling: two nodes straddling a tile edge see each other
+// symmetrically through the shared Grid, which is what lets the tiled
+// channel keep one global neighbor structure.
+func TestWithinRadiusAcrossTileBoundary(t *testing.T) {
+	rect := NewRect(100, 100)
+	tl := NewTiling(rect, 4)
+	pts := []Point{{49, 50}, {51, 50}, {50, 49}, {50, 51}, {49.5, 49.5}}
+	if a, b := tl.TileOf(pts[0]), tl.TileOf(pts[1]); a == b {
+		t.Fatalf("fixture broken: points 0,1 share tile %d", a)
+	}
+	g := NewGrid(rect, 25, pts)
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			near := g.WithinRadius(nil, pts[i], 5, i)
+			if slices.Contains(near, j) != slices.Contains(g.WithinRadius(nil, pts[j], 5, j), i) {
+				t.Errorf("asymmetric neighborhood between %d and %d", i, j)
+			}
+			if !slices.Contains(near, j) {
+				t.Errorf("point %d should see point %d across the tile edge", i, j)
+			}
+		}
+	}
+}

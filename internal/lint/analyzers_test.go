@@ -373,6 +373,10 @@ func bad() {
 			path: "routeless/internal/parallel", filename: "parallel.go", src: concSrc,
 		},
 		{
+			name: "clean: internal/pdes tile engine owns concurrency", analyzer: Goroutine,
+			path: "routeless/internal/pdes", filename: "pdes.go", src: concSrc,
+		},
+		{
 			name: "clean: cmd may use goroutines", analyzer: Goroutine,
 			path: "routeless/cmd/fix", filename: "main.go", src: concSrc,
 		},
@@ -632,6 +636,39 @@ func bad(w io.Writer) {
 	})
 }`,
 			want: []string{"captures *metrics.Journal j"},
+		},
+		{
+			name: "catches package-level var in pdes.Run exchange closure", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"routeless/internal/pdes"
+	"routeless/internal/sim"
+)
+var moved int
+func bad(tiles []*sim.Kernel, g *sim.Kernel) {
+	pdes.Run(pdes.Config{
+		Tiles: tiles, Global: g, MinArm: 1e-6, CrossDelay: []sim.Time{1e-6},
+		Exchange: func() int { moved++; return moved },
+	}, 1)
+}`,
+			want: []string{"package-level var moved"},
+		},
+		{
+			name: "clean: pdes.Run exchange over locals only", analyzer: SharedCap,
+			path: "routeless/internal/fix", filename: "fix.go",
+			src: `package fix
+import (
+	"routeless/internal/pdes"
+	"routeless/internal/sim"
+)
+func good(tiles []*sim.Kernel, g *sim.Kernel) {
+	moved := 0
+	pdes.Run(pdes.Config{
+		Tiles: tiles, Global: g, MinArm: 1e-6, CrossDelay: []sim.Time{1e-6},
+		Exchange: func() int { moved++; return moved },
+	}, 1)
+}`,
 		},
 		{
 			name: "clean: per-worker runtime from the context", analyzer: SharedCap,

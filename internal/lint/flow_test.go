@@ -186,6 +186,7 @@ func TestFlowmodFindings(t *testing.T) {
 		{"globalrand", "supplies a fixed seed"},                             // BadJitter through mkStream
 		{"sharedstate", "package-level var flowmod/internal/proto.hits"},    // OnReceive write
 		{"sharedstate", "package-level var flowmod/internal/proto.pending"}, // scheduled-closure write
+		{"goroutine", "go statement"},                                       // SpawnBad, outside the exempt engines
 	}
 
 	if len(res.Diags) != len(want) {
@@ -245,6 +246,21 @@ func TestShardReportFlowmod(t *testing.T) {
 		t.Errorf("proto.deliveries: class=%q handlerWrites=%v, want mutable/true", deliveries.Class, deliveries.HandlerWrites)
 	}
 
+	// The hard-gate view sees through suppressions: both hits (diagnosed)
+	// and deliveries (its write excused by //lint:ignore) must surface.
+	violations := rep.Violations()
+	for _, want := range []string{"proto.hits", "proto.deliveries"} {
+		found := false
+		for _, v := range violations {
+			if strings.Contains(v, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Violations() = %v, want an entry for %s", violations, want)
+		}
+	}
+
 	var kernel *ShardSingleton
 	for i := range rep.Singletons {
 		if rep.Singletons[i].Type == "flowmod/internal/sim.(Kernel)" {
@@ -296,8 +312,8 @@ func TestModuleCorpus(t *testing.T) {
 	for _, s := range res.Stale {
 		t.Errorf("stale directive: %s", s)
 	}
-	if res.Suppressed != 8 {
-		t.Errorf("suppressed findings = %d, want 8; if a suppression was added or removed deliberately, update this pin", res.Suppressed)
+	if res.Suppressed != 10 {
+		t.Errorf("suppressed findings = %d, want 10; if a suppression was added or removed deliberately, update this pin", res.Suppressed)
 	}
 
 	rep := BuildShardReport(prog)
@@ -326,5 +342,9 @@ func TestModuleCorpus(t *testing.T) {
 		if g.Class == "mutable" && g.HandlerWrites {
 			t.Errorf("shard blocker: %s is mutable and handler-written (via %v)", g.Var, g.Via)
 		}
+	}
+	// Same gate through the method cmd/simlint -audit calls.
+	if v := rep.Violations(); len(v) != 0 {
+		t.Errorf("ShardReport.Violations() = %v, want none", v)
 	}
 }

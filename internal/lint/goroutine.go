@@ -7,15 +7,16 @@ import (
 )
 
 // Goroutine forbids `go` statements and sync / sync/atomic imports in
-// every internal/ package except the two worker-pool engines. The DES
+// every internal/ package except the worker-pool engines. The DES
 // kernel is sequential by design: causality is the event heap's total
-// order, and determinism depends on it. Concurrency belongs one level
-// up, across independent runs — which is exactly what
-// internal/parallel (the goroutine pool) and internal/sweep (the cell
-// scheduler on top of it) provide.
+// order, and determinism depends on it. Concurrency belongs in the
+// engines built to contain it: internal/parallel (the goroutine pool),
+// internal/sweep (the cell scheduler on top of it), and internal/pdes
+// (the tiled intra-run engine, whose barrier protocol keeps each
+// kernel single-threaded within its windows).
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel and internal/sweep); the kernel is sequential",
+	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel, internal/sweep, and internal/pdes); the kernel is sequential",
 	Run:  runGoroutine,
 }
 
@@ -30,7 +31,7 @@ func runGoroutine(p *Pass) {
 				continue
 			}
 			if path == "sync" || path == "sync/atomic" {
-				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel and internal/sweep may coordinate goroutines)", path)
+				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel, internal/sweep, and internal/pdes may coordinate goroutines)", path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -44,5 +45,6 @@ func runGoroutine(p *Pass) {
 
 func isWorkerPoolPkg(path string) bool {
 	return strings.HasSuffix(path, "/internal/parallel") || path == "internal/parallel" ||
-		strings.HasSuffix(path, "/internal/sweep") || path == "internal/sweep"
+		strings.HasSuffix(path, "/internal/sweep") || path == "internal/sweep" ||
+		strings.HasSuffix(path, "/internal/pdes") || path == "internal/pdes"
 }

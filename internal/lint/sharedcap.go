@@ -6,10 +6,11 @@ import (
 	"strings"
 )
 
-// SharedCap guards the sweep engine's ownership contract: a closure
-// handed to parallel.Map/ForEach or sweep.Run executes on several
-// worker goroutines at once, so it must not capture shared mutable
-// state. Two capture classes are flagged inside such closures:
+// SharedCap guards the worker-pool ownership contract: a closure
+// handed to parallel.Map/ForEach, sweep.Run, or pdes.Run (directly or
+// through a config field such as pdes.Config.Exchange) executes inside
+// a concurrent engine, so it must not capture shared mutable state.
+// Two capture classes are flagged inside such closures:
 //
 //   - package-level mutable variables (any package's), which every
 //     worker would read and write concurrently — racy, and even when
@@ -38,6 +39,7 @@ var SharedCap = &Analyzer{
 var sharedCapEntryPoints = map[string]map[string]bool{
 	"routeless/internal/parallel": {"Map": true, "ForEach": true},
 	"routeless/internal/sweep":    {"Run": true},
+	"routeless/internal/pdes":     {"Run": true},
 }
 
 // sharedCapPoolTypes are the single-owner types that must never cross
@@ -67,10 +69,17 @@ func runSharedCap(p *Pass) {
 			if !isWorkerEntryPoint(p, call.Fun) {
 				return true
 			}
+			// Func literals may arrive as direct arguments (sweep.Run's
+			// body closure) or inside a config struct (pdes.Config.Exchange);
+			// both run on worker goroutines, so walk the whole argument.
 			for _, arg := range call.Args {
-				if lit, ok := arg.(*ast.FuncLit); ok {
-					checkWorkerClosure(p, lit)
-				}
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						checkWorkerClosure(p, lit)
+						return false
+					}
+					return true
+				})
 			}
 			return true
 		})

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -163,6 +164,22 @@ type ShardReport struct {
 	EntryPoints []ShardEntry     `json:"entryPoints"`
 	Globals     []ShardGlobal    `json:"globals"`
 	Singletons  []ShardSingleton `json:"singletons"`
+}
+
+// Violations returns one line per global that is classified mutable
+// AND written from event-handler context — the combination that makes
+// a tile decomposition unsound. Unlike the sharedstate diagnostics,
+// this reads the raw inventory, so //lint:ignore suppressions cannot
+// hide a hazard from callers that treat the report as a hard gate
+// (cmd/simlint -audit).
+func (r *ShardReport) Violations() []string {
+	var out []string
+	for _, g := range r.Globals {
+		if g.Class == "mutable" && g.HandlerWrites {
+			out = append(out, fmt.Sprintf("%s: %s (%s) is mutable and handler-written", g.Pos, g.Var, g.Type))
+		}
+	}
+	return out
 }
 
 // ShardEntry is one event-handler root of the call graph.

@@ -31,6 +31,23 @@ type Config struct {
 	QueueCap   int      // outgoing queue capacity (frames)
 }
 
+// MinArm returns the minimum delay between any MAC event and the
+// earliest radio transmission it can cause. Every Transmit happens
+// inside an event armed at least this far in advance: the access timer
+// is always reset with SlotTime, DIFS, or AckTimeout, and link-layer
+// ACKs are scheduled SIFS ahead. PDES uses this as structural
+// lookahead — a tile whose earliest pending event is at E cannot put a
+// new, not-yet-scheduled signal on the air before E+MinArm.
+func (c Config) MinArm() sim.Time {
+	min := c.SlotTime
+	for _, d := range []sim.Time{c.DIFS, c.SIFS, c.AckTimeout} {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
 // DefaultConfig returns 802.11-flavored parameters.
 func DefaultConfig() Config {
 	return Config{
@@ -133,6 +150,10 @@ type MAC struct {
 	rxSeen     map[uint64]struct{}
 	rxSeenFIFO []uint64
 
+	// tagTx marks every event that can lead to a transmission as a
+	// tagged kernel event (see TagTransmits).
+	tagTx bool
+
 	stats macCounters
 }
 
@@ -155,6 +176,16 @@ func New(k *sim.Kernel, radio *phy.Radio, cfg Config, rng *rand.Rand) *MAC {
 
 // SetHandler installs the network layer.
 func (m *MAC) SetHandler(h Handler) { m.handler = h }
+
+// TagTransmits marks the two event paths that call Radio.Transmit —
+// the access timer and the SIFS ACK closure — as tagged kernel events,
+// so a PDES coordinator can bound this node's next possible
+// transmission with Kernel.PeekTagged. Tagging is scheduling-neutral;
+// on kernels without tag tracking enabled it is a no-op.
+func (m *MAC) TagTransmits() {
+	m.tagTx = true
+	m.access.MarkTagged()
+}
 
 // Stats returns a snapshot of the MAC counters.
 func (m *MAC) Stats() Stats {
@@ -453,14 +484,19 @@ func (m *MAC) scheduleAck(orig *packet.Packet) {
 		Size:    packet.SizeAck,
 		Payload: orig.UID,
 	}
-	m.kernel.Schedule(m.cfg.SIFS, func() {
+	fire := func() {
 		if !m.radio.On() || m.radio.State() == phy.StateTx {
 			return // can't ack right now; sender will retry
 		}
 		m.stats.txAcks.Inc()
 		m.stats.txFrames.Inc()
 		m.radio.Transmit(ack)
-	})
+	}
+	if m.tagTx {
+		m.kernel.ScheduleTagged(m.cfg.SIFS, fire)
+	} else {
+		m.kernel.Schedule(m.cfg.SIFS, fire)
+	}
 }
 
 // OnMediumBusy implements phy.Listener.

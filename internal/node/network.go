@@ -7,6 +7,7 @@ import (
 	"routeless/internal/mac"
 	"routeless/internal/metrics"
 	"routeless/internal/packet"
+	"routeless/internal/pdes"
 	"routeless/internal/phy"
 	"routeless/internal/propagation"
 	"routeless/internal/rng"
@@ -46,6 +47,12 @@ type Config struct {
 	// identical behavior; reuse changes allocation counts only, never
 	// results.
 	Runtime *Runtime
+	// Tiles, when above 1, partitions the arena into that many geo
+	// tiles, each with its own kernel advanced by a parallel PDES
+	// worker between epoch barriers (see internal/pdes). Results are
+	// identical to the sequential network; requires no fading and no
+	// mobility. 0 or 1 builds the classic sequential network.
+	Tiles int
 }
 
 // Runtime is the reusable allocation state one sweep worker owns: the
@@ -57,6 +64,13 @@ type Runtime struct {
 	Events *sim.EventPool
 	Phy    *phy.Pools
 	Ranges *propagation.SharedRangeCache
+
+	// Per-tile allocation state for tiled networks, grown on demand.
+	// Tile kernels run concurrently, so each tile owns its pools; the
+	// global kernel keeps using Events (it only runs at barriers, while
+	// every tile worker is parked).
+	tileEvents []*sim.EventPool
+	tilePhy    []*phy.Pools
 }
 
 // NewRuntime returns a fresh runtime with empty pools.
@@ -68,14 +82,38 @@ func NewRuntime() *Runtime {
 	}
 }
 
+// tilePools returns per-tile event pools and phy pools for n tiles,
+// growing the runtime's slots on first use so consecutive tiled runs on
+// one sweep worker reuse warm memory.
+func (rt *Runtime) tilePools(n int) ([]*sim.EventPool, []*phy.Pools) {
+	for len(rt.tileEvents) < n {
+		rt.tileEvents = append(rt.tileEvents, sim.NewEventPool())
+		rt.tilePhy = append(rt.tilePhy, phy.NewPools())
+	}
+	return rt.tileEvents[:n], rt.tilePhy[:n]
+}
+
 // Network is a fully assembled simulation: kernel, channel, and nodes.
 // Protocols and applications are attached after construction.
 type Network struct {
+	// Kernel is the simulation kernel on a sequential network, and the
+	// global control-lane kernel on a tiled one (fault schedules and
+	// other cross-cutting processes live there; its handlers run at
+	// epoch barriers with every tile clock equal to the global clock).
 	Kernel  *sim.Kernel
 	Channel *phy.Channel
 	Nodes   []*Node
 	Rect    geo.Rect
 	Seed    int64
+
+	// TileKernels holds one kernel per PDES tile; nil when sequential.
+	TileKernels []*sim.Kernel
+
+	// minArm and crossDelay parameterize the conservative PDES window
+	// (see internal/pdes): the MAC's minimum arming interval and, per
+	// tile, the minimum propagation delay of any boundary-crossing link.
+	minArm     sim.Time
+	crossDelay []sim.Time
 
 	// Metrics is the network-wide registry: channel counters, then every
 	// radio and MAC in node-id order, then any protocol implementing
@@ -108,6 +146,10 @@ func New(cfg Config) *Network {
 	if rt == nil {
 		rt = NewRuntime()
 	}
+	tiles := cfg.Tiles
+	if tiles < 1 {
+		tiles = 1
+	}
 	kernel := sim.NewKernelPooled(rng.Derive(cfg.Seed, 0xC0FFEE), rt.Events)
 	params := phy.DefaultParams(cfg.Model, cfg.Range)
 
@@ -137,35 +179,117 @@ func New(cfg Config) *Network {
 		}
 	}
 
-	ch := phy.NewChannel(kernel, cfg.Rect, positions, params, phy.ChannelConfig{
+	chCfg := phy.ChannelConfig{
 		Model:        cfg.Model,
 		Fader:        cfg.Fader,
 		FadeMarginDB: cfg.FadeMarginDB,
 		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
 		Pools:        rt.Phy,
 		Ranges:       rt.Ranges,
-	})
+	}
+	var tileKernels []*sim.Kernel
+	var tileOf []int32
+	if tiles > 1 {
+		// Tile assignment is pure arithmetic on the final positions, so
+		// the same seed yields the same node→tile map at any tile count.
+		tiling := geo.NewTiling(cfg.Rect, tiles)
+		tileOf = make([]int32, len(positions))
+		for i, p := range positions {
+			tileOf[i] = int32(tiling.TileOf(p))
+		}
+		evPools, phyPools := rt.tilePools(tiles)
+		tileKernels = make([]*sim.Kernel, tiles)
+		specs := make([]phy.TileSpec, tiles)
+		for t := 0; t < tiles; t++ {
+			k := sim.NewKernelPooled(rng.Derive(cfg.Seed, 0xC0FFEE, uint64(t+1)), evPools[t])
+			k.EnableTagTracking()
+			tileKernels[t] = k
+			specs[t] = phy.TileSpec{Kernel: k, Pools: phyPools[t]}
+		}
+		chCfg.Tiles = specs
+		chCfg.TileOf = tileOf
+	}
+	ch := phy.NewChannel(kernel, cfg.Rect, positions, params, chCfg)
 
 	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed,
-		Metrics: metrics.NewRegistry()}
+		TileKernels: tileKernels, Metrics: metrics.NewRegistry()}
 	ch.RegisterMetrics(nw.Metrics)
 	nw.Nodes = make([]*Node, len(positions))
 	for i := range positions {
+		nk := kernel
+		tile := 0
+		if tiles > 1 {
+			tile = int(tileOf[i])
+			nk = tileKernels[tile]
+		}
 		n := &Node{
 			ID:     packet.NodeID(i),
 			Pos:    positions[i],
-			Kernel: kernel,
+			Kernel: nk,
+			Ctl:    kernel,
+			Tile:   tile,
 			Radio:  ch.Radio(i),
 			Rng:    rng.ForNode(cfg.Seed, rng.StreamNet, i),
 		}
-		n.MAC = mac.New(kernel, n.Radio, macCfg, rng.ForNode(cfg.Seed, rng.StreamMAC, i))
+		n.MAC = mac.New(nk, n.Radio, macCfg, rng.ForNode(cfg.Seed, rng.StreamMAC, i))
 		n.MAC.SetHandler(macAdapter{n})
 		n.Radio.RegisterMetrics(nw.Metrics)
 		n.MAC.RegisterMetrics(nw.Metrics)
 		nw.Nodes[i] = n
 	}
+	if tiles > 1 {
+		// Conservative-window parameters: every transmission is armed at
+		// least MinArm ahead (MAC timer discipline), and a signal leaving
+		// tile t takes at least crossDelay[t] to reach another tile. Only
+		// boundary transmitters — nodes with an in-cutoff neighbor on
+		// another tile — tag their TX-risk timers; interior nodes cannot
+		// affect other tiles inside a window.
+		nw.minArm = macCfg.MinArm()
+		nw.crossDelay = make([]sim.Time, tiles)
+		for t := range nw.crossDelay {
+			nw.crossDelay[t] = sim.Infinity
+		}
+		var buf []int
+		for i := range positions {
+			ti := int(tileOf[i])
+			buf = ch.InterferenceNeighbors(buf, i)
+			boundary := false
+			for _, j := range buf {
+				if int(tileOf[j]) == ti {
+					continue
+				}
+				boundary = true
+				d := sim.Time(propagation.Delay(positions[i].Dist(positions[j])))
+				if d < nw.crossDelay[ti] {
+					nw.crossDelay[ti] = d
+				}
+			}
+			if boundary {
+				nw.Nodes[i].MAC.TagTransmits()
+			}
+		}
+	}
 	nw.registerLaws()
 	return nw
+}
+
+// NumTiles returns how many PDES tiles the network runs on (1 when
+// sequential).
+func (nw *Network) NumTiles() int {
+	if nw.TileKernels == nil {
+		return 1
+	}
+	return len(nw.TileKernels)
+}
+
+// Processed sums the events executed across every kernel in the
+// network.
+func (nw *Network) Processed() uint64 {
+	n := nw.Kernel.Processed()
+	for _, k := range nw.TileKernels {
+		n += k.Processed()
+	}
+	return n
 }
 
 // registerLaws declares the packet conservation invariants every run
@@ -213,8 +337,23 @@ func (nw *Network) Install(factory func(n *Node) Protocol) {
 	}
 }
 
-// Run executes the simulation until time t.
-func (nw *Network) Run(t sim.Time) { nw.Kernel.RunUntil(t) }
+// Run executes the simulation until time t: sequentially on the single
+// kernel, or — when the network was built with Config.Tiles > 1 — as a
+// conservative tiled PDES run whose results are identical to the
+// sequential one.
+func (nw *Network) Run(t sim.Time) {
+	if nw.TileKernels == nil {
+		nw.Kernel.RunUntil(t)
+		return
+	}
+	pdes.Run(pdes.Config{
+		Tiles:      nw.TileKernels,
+		Global:     nw.Kernel,
+		MinArm:     nw.minArm,
+		CrossDelay: nw.crossDelay,
+		Exchange:   nw.Channel.ExchangeCross,
+	}, t)
+}
 
 // MoveNode relocates a node (mobility extension), keeping the channel's
 // spatial index and the node's own position in sync.

@@ -1,0 +1,215 @@
+// Package pdes runs a tiled network as a conservative parallel
+// discrete-event simulation that is result-identical to the sequential
+// kernel.
+//
+// The arena is partitioned into geo tiles (geo.Tiling), each with its
+// own event kernel advanced by a dedicated worker goroutine. Workers
+// run lockstep windows between epoch barriers: the coordinator computes
+// a barrier time B no tile can causally affect another tile before,
+// releases every worker to advance its kernel to B, then — with all
+// workers parked — drains the boundary-crossing deliveries the window
+// produced (Config.Exchange) and runs the global control-lane kernel to
+// B. Exchanged deliveries are applied in (source tile, transmit order),
+// so the schedule each kernel sees is independent of how the workers
+// interleaved, and a tiled run reproduces the sequential journal byte
+// for byte.
+//
+// The window bound is structural rather than geometric-only: every
+// radio transmission happens inside an event armed at least MinArm in
+// advance (the MAC's minimum timer interval — slot, SIFS, DIFS, or ack
+// timeout), and boundary transmitters arm those events as *tagged*
+// events (sim.Kernel.AtTagged). Tile i therefore cannot put a frame on
+// the air before
+//
+//	base_i = min(PeekTagged_i, PeekTime_i + MinArm)
+//
+// and cannot affect another tile before base_i + CrossDelay[i], where
+// CrossDelay[i] is the minimum propagation delay over tile i's
+// boundary-crossing links. B is the minimum of those bounds, the global
+// kernel's next event, and the run horizon.
+package pdes
+
+import (
+	"fmt"
+
+	"routeless/internal/sim"
+)
+
+// Config wires one tiled run.
+type Config struct {
+	// Tiles holds the per-tile kernels, index-aligned with CrossDelay.
+	Tiles []*sim.Kernel
+	// Global is the control-lane kernel (fault schedules, observers).
+	// It only runs at barriers, when every tile clock equals its own.
+	Global *sim.Kernel
+	// MinArm is the MAC's minimum arming interval: no transmission
+	// starts less than MinArm after the event that committed to it was
+	// scheduled.
+	MinArm sim.Time
+	// CrossDelay[i] lower-bounds the propagation delay of any signal
+	// leaving tile i for another tile (sim.Infinity when tile i has no
+	// boundary-crossing link).
+	CrossDelay []sim.Time
+	// Exchange drains the boundary-crossing deliveries queued during
+	// the last window onto the receiving tiles' kernels, returning how
+	// many it moved. Called only while every worker is parked.
+	Exchange func() int
+}
+
+// Run advances the tiled simulation to time until. It spawns one worker
+// per tile for the duration of the call and joins them before
+// returning; a panic on any worker is re-raised on the caller.
+func Run(cfg Config, until sim.Time) {
+	n := len(cfg.Tiles)
+	if n == 0 || cfg.Global == nil || len(cfg.CrossDelay) != n || cfg.Exchange == nil {
+		panic("pdes: incomplete config")
+	}
+	if until < cfg.Global.Now() {
+		panic(fmt.Sprintf("pdes: Run(%v) before now %v", until, cfg.Global.Now()))
+	}
+
+	release := make([]chan sim.Time, n)
+	acks := make(chan any, n)
+	for i := range release {
+		release[i] = make(chan sim.Time)
+		go worker(cfg.Tiles[i], release[i], acks)
+	}
+	park := func() {
+		for i := range release {
+			close(release[i])
+		}
+		for range release {
+			<-acks
+		}
+	}
+
+	// runWindow releases every worker to advance its tile to b and
+	// waits for all of them to park again, re-raising worker panics.
+	runWindow := func(b sim.Time) {
+		for _, ch := range release {
+			ch <- b
+		}
+		var failure any
+		for range release {
+			if r := <-acks; r != nil {
+				failure = r
+			}
+		}
+		if failure != nil {
+			park()
+			panic(failure)
+		}
+	}
+
+	g := cfg.Global.Now()
+	for g < until {
+		b := barrier(cfg, until)
+		if b >= until {
+			break
+		}
+		if b > g {
+			runWindow(b)
+			cfg.Exchange()
+			cfg.Global.RunUntil(b)
+			g = b
+			continue
+		}
+		// b == g: a tagged event (or a zero cross-delay link) sits
+		// exactly at the barrier, so no parallel window opens. Close the
+		// gap sequentially — workers are parked, so the coordinator owns
+		// every kernel.
+		if cfg.Global.PeekTime() <= g {
+			cfg.Global.RunUntil(g)
+			continue
+		}
+		stepMinTile(cfg.Tiles)
+		cfg.Exchange()
+	}
+
+	// Every remaining bound is at or past the horizon: no tile can
+	// affect another before until, so run each straight there, then
+	// drain exchanges and events landing exactly at the horizon
+	// (RunUntil is inclusive, matching the sequential kernel).
+	runWindow(until)
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("pdes: final drain did not quiesce")
+		}
+		moved := cfg.Exchange()
+		cfg.Global.RunUntil(until)
+		work := false
+		for _, k := range cfg.Tiles {
+			if k.PeekTime() <= until {
+				k.RunUntil(until)
+				work = true
+			}
+		}
+		if moved == 0 && !work && cfg.Global.PeekTime() > until {
+			break
+		}
+	}
+	park()
+}
+
+// barrier computes the next epoch barrier: the earliest time any tile
+// could causally affect another, capped by the global kernel's next
+// event and the run horizon.
+func barrier(cfg Config, until sim.Time) sim.Time {
+	b := until
+	if p := cfg.Global.PeekTime(); p < b {
+		b = p
+	}
+	for i, k := range cfg.Tiles {
+		base := k.PeekTagged()
+		if alt := k.PeekTime() + cfg.MinArm; alt < base {
+			base = alt
+		}
+		if bound := base + cfg.CrossDelay[i]; bound < b {
+			b = bound
+		}
+	}
+	return b
+}
+
+// stepMinTile sequentially executes the single earliest pending tile
+// event (lowest time, then lowest tile index) — the fallback that
+// guarantees progress when the conservative window is empty.
+func stepMinTile(tiles []*sim.Kernel) {
+	best := -1
+	at := sim.Infinity
+	for i, k := range tiles {
+		if p := k.PeekTime(); p < at {
+			at, best = p, i
+		}
+	}
+	if best < 0 {
+		panic("pdes: stalled with no pending tile events")
+	}
+	tiles[best].Step()
+}
+
+// worker advances one tile kernel to each barrier it is released to,
+// acknowledging with nil on success or the recovered panic value. A
+// closed release channel ends the worker.
+func worker(k *sim.Kernel, release <-chan sim.Time, acks chan<- any) {
+	for b := range release {
+		acks <- advance(k, b)
+	}
+	acks <- nil
+}
+
+// advance runs one window, converting a panic into a value the
+// coordinator can re-raise with the other workers safely parked. A tile
+// whose clock is already at or past the barrier (possible only after a
+// sequential fallback step) has nothing to do before it and skips.
+func advance(k *sim.Kernel, b sim.Time) (failure any) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = fmt.Errorf("pdes: tile worker panic: %v", r)
+		}
+	}()
+	if b > k.Now() {
+		k.RunUntilBarrier(b)
+	}
+	return nil
+}

@@ -35,7 +35,6 @@ type link struct {
 // so static topologies (the paper's scenarios) pay the grid query,
 // sort, and log/pow propagation math exactly once per transmitter.
 type Channel struct {
-	kernel *sim.Kernel
 	model  propagation.Model
 	fader  propagation.Fader
 	noFade bool       // fader is propagation.NoFade: skip draws and reuse meanMW
@@ -47,18 +46,28 @@ type Channel struct {
 	// a receiver even after fading; signals past it are not scheduled.
 	cutoff float64
 
-	uid   uint64
-	stats chanCounters
-
-	// pendingStarts counts deliveries scheduled whose leading edge has
-	// not yet reached the receiver — the in-flight term of the
-	// phy-delivery conservation law.
-	pendingStarts int
+	// tiles holds the per-tile scheduling state. A sequential channel
+	// has exactly one tile whose kernel is the simulation kernel — the
+	// pre-tiling code path, unchanged. A tiled channel (ChannelConfig
+	// .Tiles) has one tileCtx per arena tile; transmissions run on the
+	// source node's tile and same-tile deliveries schedule directly,
+	// while boundary-crossing deliveries queue in the source tile's
+	// outbox for the barrier exchange (ExchangeCross).
+	tiles []*tileCtx
+	// ctl serves the single-threaded control lane: interference
+	// injection, mobility, link offsets. Sequential channels alias it
+	// to tiles[0]; tiled channels give it the barrier-synchronized
+	// control kernel.
+	ctl *tileCtx
+	// tileOf maps node id → tile index (all zero when sequential).
+	tileOf []int32
 
 	// links[i] caches node i's outgoing edges; linkValid[i] marks the
 	// entry current. noCache forces a rebuild on every transmission —
 	// the recompute-every-time reference the coherence tests compare
-	// against.
+	// against. Entry i is only ever written by node i's own tile (or
+	// by the control lane at a barrier), so the shared slices are safe
+	// under tiled execution.
 	links     [][]link
 	linkValid []bool
 	noCache   bool
@@ -66,7 +75,8 @@ type Channel struct {
 	// offsets holds the fault plane's per-link shadowing: extra gain in
 	// dB applied on top of the propagation model for specific directed
 	// links. Nil (the common case) means the power math runs exactly the
-	// pre-offset expressions, preserving float bit-identity.
+	// pre-offset expressions, preserving float bit-identity. Mutated
+	// only from the control lane (all tiles parked at a barrier).
 	offsets map[linkKey]float64
 
 	// ranges memoizes the RangeFor bisection per radio parameter set
@@ -75,14 +85,43 @@ type Channel struct {
 	// supplies a cache it is shared across every channel the owning
 	// sweep worker builds; otherwise the channel owns a private one.
 	ranges *propagation.SharedRangeCache
+}
 
-	// pools recycles the per-delivery signal and delivery objects. The
-	// simulation is single-threaded (one kernel), so plain slices
-	// suffice and stay deterministic; see Pools for the cross-run reuse
-	// contract.
-	pools *Pools
+// tileCtx is the per-tile slice of the channel's mutable scheduling
+// state: the tile's kernel, its object pools, its share of the medium
+// counters (the registry sums same-name counters, so per-tile counters
+// roll up to the same network series), its UID namespace, and the
+// outbox of boundary-crossing deliveries awaiting the next barrier.
+// Sequential channels have exactly one, making every field access
+// identical to the pre-tiling single-struct layout.
+type tileCtx struct {
+	kernel *sim.Kernel
+	pools  *Pools
+
+	// uid counts frames born on this tile; uidBase disambiguates the
+	// namespace across tiles (UIDs are only ever compared for equality
+	// and zero). Sequential channels use base 0, preserving historical
+	// values.
+	uid     uint64
+	uidBase uint64
+
+	stats chanCounters
+
+	// pendingStarts counts deliveries scheduled whose leading edge has
+	// not yet reached the receiver — this tile's term of the
+	// phy-delivery conservation law.
+	pendingStarts int
 
 	scratch []int
+	outbox  []xdeliv
+}
+
+// xdeliv is one boundary-crossing delivery parked in a source tile's
+// outbox between transmission and the next epoch barrier.
+type xdeliv struct {
+	rcv   *Radio
+	sig   *signal
+	start sim.Time
 }
 
 // linkKey identifies one directed link for the offset table.
@@ -122,6 +161,25 @@ type ChannelConfig struct {
 	// Ranges, when non-nil, supplies an externally owned cross-model
 	// range cache; nil means a private one.
 	Ranges *propagation.SharedRangeCache
+	// Tiles, when it holds more than one entry, partitions the medium
+	// for tiled PDES: one kernel (and optional pools) per arena tile,
+	// with TileOf mapping every node id to its tile. The kernel passed
+	// to NewChannel then becomes the control-lane kernel (interference
+	// injection, link offsets), which only runs while all tile workers
+	// are parked at an epoch barrier. Empty or single-entry means the
+	// classic sequential medium. Tiling requires NoFade: the fading
+	// stream is a single sequential draw order that cannot be
+	// partitioned without changing results.
+	Tiles []TileSpec
+	// TileOf maps node id → index into Tiles; required iff tiled.
+	TileOf []int32
+}
+
+// TileSpec names one tile's scheduling resources for a tiled channel.
+type TileSpec struct {
+	Kernel *sim.Kernel
+	// Pools, when nil, gives the tile private pools.
+	Pools *Pools
 }
 
 // NewChannel builds a medium over the given node positions inside rect.
@@ -159,7 +217,6 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		ranges = propagation.NewSharedRangeCache()
 	}
 	ch := &Channel{
-		kernel:    k,
 		model:     model,
 		fader:     fader,
 		noFade:    noFade,
@@ -170,14 +227,44 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		linkValid: make([]bool, len(positions)),
 		noCache:   cfg.NoLinkCache,
 		ranges:    ranges,
-		pools:     pools,
+	}
+	if len(cfg.Tiles) > 1 {
+		if !noFade {
+			panic("phy: tiled channel requires NoFade (the fading stream is sequential)")
+		}
+		if len(cfg.TileOf) != len(positions) {
+			panic("phy: tiled channel needs TileOf for every node")
+		}
+		ch.tiles = make([]*tileCtx, len(cfg.Tiles))
+		for i, ts := range cfg.Tiles {
+			p := ts.Pools
+			if p == nil {
+				p = NewPools()
+			}
+			ch.tiles[i] = &tileCtx{
+				kernel:  ts.Kernel,
+				pools:   p,
+				uidBase: uint64(i+1) << 48,
+			}
+		}
+		ch.ctl = &tileCtx{
+			kernel:  k,
+			pools:   NewPools(),
+			uidBase: uint64(len(cfg.Tiles)+1) << 48,
+		}
+		ch.tileOf = cfg.TileOf
+	} else {
+		t := &tileCtx{kernel: k, pools: pools}
+		ch.tiles = []*tileCtx{t}
+		ch.ctl = t
+		ch.tileOf = make([]int32, len(positions))
 	}
 	ch.radios = make([]*Radio, len(positions))
 	for i := range positions {
 		r := &Radio{
 			id:      packet.NodeID(i),
 			params:  params,
-			kernel:  k,
+			kernel:  ch.tiles[ch.tileOf[i]].kernel,
 			channel: ch,
 			state:   StateIdle,
 			energy:  NewEnergy(DefaultPower()),
@@ -187,6 +274,10 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 	}
 	return ch
 }
+
+// Tiled reports whether the medium is partitioned into more than one
+// tile.
+func (c *Channel) Tiled() bool { return len(c.tiles) > 1 }
 
 // Radio returns the transceiver at position index i.
 func (c *Channel) Radio(i int) *Radio { return c.radios[i] }
@@ -208,17 +299,24 @@ func (c *Channel) Position(i int) geo.Point { return c.grid.At(i) }
 // positions because any node that moved had its own cache invalidated
 // by its own MoveTo.
 func (c *Channel) MoveTo(i int, p geo.Point) {
+	if c.Tiled() {
+		// Tile assignment and boundary tagging are fixed at
+		// construction; a move could cross a tile border or create a
+		// new boundary transmitter mid-run, both unsound.
+		panic("phy: MoveTo is not supported on a tiled channel")
+	}
 	if c.noCache {
 		c.grid.MoveTo(i, p)
 		return
 	}
-	c.scratch = c.grid.WithinRadius(c.scratch[:0], c.grid.At(i), c.cutoff, i)
-	for _, id := range c.scratch {
+	t := c.ctl
+	t.scratch = c.grid.WithinRadius(t.scratch[:0], c.grid.At(i), c.cutoff, i)
+	for _, id := range t.scratch {
 		c.linkValid[id] = false
 	}
 	c.grid.MoveTo(i, p)
-	c.scratch = c.grid.WithinRadius(c.scratch[:0], p, c.cutoff, i)
-	for _, id := range c.scratch {
+	t.scratch = c.grid.WithinRadius(t.scratch[:0], p, c.cutoff, i)
+	for _, id := range t.scratch {
 		c.linkValid[id] = false
 	}
 	c.linkValid[i] = false
@@ -235,20 +333,44 @@ func (c *Channel) Model() propagation.Model { return c.model }
 // Cutoff returns the interference cutoff distance in meters.
 func (c *Channel) Cutoff() float64 { return c.cutoff }
 
-// Stats returns medium-wide counters.
+// Stats returns medium-wide counters, summed across tiles (and the
+// control lane, whose jammer bursts count as deliveries).
 func (c *Channel) Stats() ChannelStats {
-	return ChannelStats{
-		Transmissions: c.stats.transmissions.Value(),
-		Deliveries:    c.stats.deliveries.Value(),
+	var tx, dl uint64
+	for _, t := range c.tiles {
+		tx += t.stats.transmissions.Value()
+		dl += t.stats.deliveries.Value()
 	}
+	if c.ctl != c.tiles[0] {
+		tx += c.ctl.stats.transmissions.Value()
+		dl += c.ctl.stats.deliveries.Value()
+	}
+	return ChannelStats{Transmissions: tx, Deliveries: dl}
 }
 
 // RegisterMetrics registers the medium-wide counters and the pending
-// leading-edge count with the registry.
+// leading-edge count with the registry. Per-tile counters register
+// under the shared series names; the registry sums same-name sources,
+// so tiled and sequential runs expose identical series.
 func (c *Channel) RegisterMetrics(reg *metrics.Registry) {
-	reg.Observe("chan.transmissions", &c.stats.transmissions)
-	reg.Observe("chan.deliveries", &c.stats.deliveries)
-	reg.Func("chan.pending_starts", func() uint64 { return uint64(c.pendingStarts) })
+	for _, t := range c.tiles {
+		reg.Observe("chan.transmissions", &t.stats.transmissions)
+		reg.Observe("chan.deliveries", &t.stats.deliveries)
+	}
+	if c.ctl != c.tiles[0] {
+		reg.Observe("chan.transmissions", &c.ctl.stats.transmissions)
+		reg.Observe("chan.deliveries", &c.ctl.stats.deliveries)
+	}
+	reg.Func("chan.pending_starts", func() uint64 {
+		var n int
+		for _, t := range c.tiles {
+			n += t.pendingStarts
+		}
+		if c.ctl != c.tiles[0] {
+			n += c.ctl.pendingStarts
+		}
+		return uint64(n)
+	})
 }
 
 // MeanPowerAt returns the deterministic (unfaded) receive power in dBm
@@ -299,13 +421,13 @@ func (c *Channel) linkGain(from, to int, p float64) float64 {
 // with the same distance and power expressions transmit used before the
 // cache existed — the cache must be bit-for-bit equivalent, not merely
 // approximately right.
-func (c *Channel) buildLinks(src int) []link {
+func (c *Channel) buildLinks(t *tileCtx, src int) []link {
 	pos := c.grid.At(src)
-	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, src)
-	slices.Sort(c.scratch)
+	t.scratch = c.grid.WithinRadius(t.scratch[:0], pos, c.cutoff, src)
+	slices.Sort(t.scratch)
 	ls := c.links[src][:0]
 	tx := c.radios[src].params.TxPowerDBm
-	for _, idx := range c.scratch {
+	for _, idx := range t.scratch {
 		d := pos.Dist(c.grid.At(idx))
 		p := c.linkGain(src, idx, c.model.ReceivedPower(tx, d))
 		ls = append(ls, link{
@@ -323,20 +445,26 @@ func (c *Channel) buildLinks(src int) []link {
 
 // transmit fans a frame out to every radio within the cutoff range.
 // Receivers are visited in id order so fading draws are reproducible.
+// On a tiled channel it runs on the source node's tile: same-tile
+// receivers schedule directly on the tile kernel, while
+// boundary-crossing deliveries are parked in the tile outbox for the
+// next epoch barrier (their leading edge is at least the cross-tile
+// lookahead away, so the deferral never reorders the receiver).
 func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
-	c.stats.transmissions.Inc()
+	srcIdx := int(src.id)
+	t := c.tiles[c.tileOf[srcIdx]]
+	t.stats.transmissions.Inc()
 	if pkt.UID == 0 {
 		// Assign once per frame: ARQ retransmissions keep their UID so
 		// receivers can suppress duplicates of the same frame.
-		c.uid++
-		pkt.UID = c.uid
+		t.uid++
+		pkt.UID = t.uidBase | t.uid
 	}
-	srcIdx := int(src.id)
 	ls := c.links[srcIdx]
 	if c.noCache || !c.linkValid[srcIdx] {
-		ls = c.buildLinks(srcIdx)
+		ls = c.buildLinks(t, srcIdx)
 	}
-	now := c.kernel.Now()
+	now := t.kernel.Now()
 	for i := range ls {
 		l := &ls[i]
 		rcv := c.radios[l.idx]
@@ -350,12 +478,46 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 		if pDBm < rcv.params.CSThreshDBm {
 			continue // too weak to sense or corrupt: not scheduled
 		}
-		s := c.pools.newSignal(pkt.Clone(), pDBm, pMW)
+		rt := c.tiles[c.tileOf[l.idx]]
+		t.stats.deliveries.Inc()
+		if rt == t {
+			s := t.pools.newSignal(pkt.Clone(), pDBm, pMW)
+			s.end = now + l.delay + dur
+			src.txLive = append(src.txLive, s)
+			c.scheduleDelivery(t, rcv, s, now+l.delay)
+			continue
+		}
+		// Cross-tile: plain allocation — the receiver tile's pools are
+		// not ours to touch mid-window, and the signal is released into
+		// them after delivery.
+		s := &signal{pkt: pkt.Clone(), powerDBm: pDBm, powerMW: pMW}
 		s.end = now + l.delay + dur
-		c.stats.deliveries.Inc()
 		src.txLive = append(src.txLive, s)
-		c.scheduleDelivery(rcv, s, now+l.delay)
+		t.outbox = append(t.outbox, xdeliv{rcv: rcv, sig: s, start: now + l.delay})
 	}
+}
+
+// ExchangeCross drains every tile's outbox of boundary-crossing
+// deliveries onto the receiving tiles' kernels, in (source tile,
+// transmit order) — a deterministic order independent of how the
+// tile workers interleaved. Must be called at an epoch barrier, with
+// every tile worker parked. Returns the number of deliveries moved.
+func (c *Channel) ExchangeCross() int {
+	n := 0
+	for _, t := range c.tiles {
+		for i := range t.outbox {
+			x := &t.outbox[i]
+			rt := c.tiles[c.tileOf[x.rcv.id]]
+			if x.start < rt.kernel.Now() {
+				panic("phy: cross-tile delivery in the receiver's past (lookahead violated)")
+			}
+			c.scheduleDelivery(rt, x.rcv, x.sig, x.start)
+			x.rcv, x.sig = nil, nil
+			n++
+		}
+		t.outbox = t.outbox[:0]
+	}
+	return n
 }
 
 // delivery carries one frame to one receiver. It is a pooled object
@@ -364,7 +526,7 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 // itself for the trailing edge (signalEnd) — replacing the two closures
 // the channel used to allocate per delivery.
 type delivery struct {
-	ch      *Channel
+	tile    *tileCtx
 	rcv     *Radio
 	sig     *signal
 	started bool
@@ -372,12 +534,12 @@ type delivery struct {
 }
 
 // scheduleDelivery arms a pooled delivery for s at the receiver,
-// starting (leading edge) at start.
-func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
-	d := c.pools.newDelivery(c)
+// starting (leading edge) at start, on the receiver's tile t.
+func (c *Channel) scheduleDelivery(t *tileCtx, rcv *Radio, s *signal, start sim.Time) {
+	d := t.pools.newDelivery(t)
 	d.rcv, d.sig, d.started = rcv, s, false
-	c.pendingStarts++
-	c.kernel.At(start, d.fn)
+	t.pendingStarts++
+	t.kernel.At(start, d.fn)
 }
 
 // fire is the delivery's only callback. First firing: leading edge —
@@ -386,15 +548,15 @@ func (c *Channel) scheduleDelivery(rcv *Radio, s *signal, start sim.Time) {
 func (d *delivery) fire() {
 	if !d.started {
 		d.started = true
-		d.ch.pendingStarts--
-		d.ch.kernel.At(d.sig.end, d.fn)
+		d.tile.pendingStarts--
+		d.tile.kernel.At(d.sig.end, d.fn)
 		d.rcv.signalStart(d.sig)
 		return
 	}
-	ch := d.ch
+	t := d.tile
 	d.rcv.signalEnd(d.sig)
-	ch.pools.releaseSignal(d.sig)
-	ch.pools.releaseDelivery(d)
+	t.pools.releaseSignal(d.sig)
+	t.pools.releaseDelivery(d)
 }
 
 // InjectInterference radiates an interference-only burst of duration
@@ -407,35 +569,49 @@ func (d *delivery) fire() {
 // frame fading stream; reach is bounded by the channel's interference
 // cutoff. Returns how many radios the burst was scheduled at.
 func (c *Channel) InjectInterference(pos geo.Point, txDBm float64, dur sim.Time) int {
-	c.scratch = c.grid.WithinRadius(c.scratch[:0], pos, c.cutoff, -1)
-	slices.Sort(c.scratch)
-	c.uid++
+	// Runs on the control lane: single-threaded, and on a tiled channel
+	// only at an epoch barrier (every tile clock equals the control
+	// clock), so scheduling straight onto the receivers' tiles is
+	// causal.
+	ct := c.ctl
+	ct.scratch = c.grid.WithinRadius(ct.scratch[:0], pos, c.cutoff, -1)
+	slices.Sort(ct.scratch)
+	ct.uid++
 	pkt := &packet.Packet{
 		Kind:   packet.KindJam,
 		From:   packet.None,
 		To:     packet.Broadcast,
 		Origin: packet.None,
 		Target: packet.None,
-		UID:    c.uid,
+		UID:    ct.uidBase | ct.uid,
 	}
-	now := c.kernel.Now()
+	now := ct.kernel.Now()
 	hits := 0
-	for _, idx := range c.scratch {
+	for _, idx := range ct.scratch {
 		rcv := c.radios[idx]
 		d := pos.Dist(c.grid.At(idx))
 		pDBm := c.model.ReceivedPower(txDBm, d)
 		if pDBm < rcv.params.CSThreshDBm {
 			continue
 		}
+		rt := c.tiles[c.tileOf[idx]]
 		delay := sim.Time(propagation.Delay(d))
-		s := c.pools.newSignal(pkt.Clone(), pDBm, propagation.DBmToMilliwatt(pDBm))
+		s := rt.pools.newSignal(pkt.Clone(), pDBm, propagation.DBmToMilliwatt(pDBm))
 		s.aborted = true
 		s.end = now + delay + dur
-		c.stats.deliveries.Inc()
-		c.scheduleDelivery(rcv, s, now+delay)
+		ct.stats.deliveries.Inc()
+		c.scheduleDelivery(rt, rcv, s, now+delay)
 		hits++
 	}
 	return hits
+}
+
+// InterferenceNeighbors appends the ids within the interference cutoff
+// of node i to dst (unsorted) — every node a transmission from i could
+// possibly touch, even after fading. Tiled construction uses it to find
+// boundary transmitters and the minimum cross-tile propagation delay.
+func (c *Channel) InterferenceNeighbors(dst []int, i int) []int {
+	return c.grid.WithinRadius(dst[:0], c.grid.At(i), c.cutoff, i)
 }
 
 // NeighborIDs appends the ids within node i's deterministic decode

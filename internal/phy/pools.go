@@ -52,10 +52,10 @@ func (p *Pools) releaseSignal(s *signal) {
 }
 
 // newDelivery takes a delivery from the free list (or allocates one
-// with its callback pre-bound) and binds it to the arming channel. The
+// with its callback pre-bound) and binds it to the arming tile. The
 // rebind matters: a pooled delivery may have last served a different
-// channel on the same worker.
-func (p *Pools) newDelivery(c *Channel) *delivery {
+// channel (or tile) on the same worker.
+func (p *Pools) newDelivery(t *tileCtx) *delivery {
 	var d *delivery
 	if n := len(p.del); n > 0 {
 		d = p.del[n-1]
@@ -64,13 +64,13 @@ func (p *Pools) newDelivery(c *Channel) *delivery {
 		d = &delivery{}
 		d.fn = d.fire
 	}
-	d.ch = c
+	d.tile = t
 	return d
 }
 
 // releaseDelivery returns a finished delivery to the free list.
 func (p *Pools) releaseDelivery(d *delivery) {
-	d.ch, d.rcv, d.sig = nil, nil, nil
+	d.tile, d.rcv, d.sig = nil, nil, nil
 	if len(p.del) < maxFreeObjects {
 		p.del = append(p.del, d)
 	}

@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+// These tests pin the kernel surface the tiled PDES engine stands on:
+// PeekTime/PeekTagged lookahead probes, tagged-event tracking, and the
+// exclusive barrier advance.
+
+func TestPeekTime(t *testing.T) {
+	k := NewKernel(1)
+	if k.PeekTime() != Infinity {
+		t.Fatalf("empty kernel PeekTime = %v, want Infinity", k.PeekTime())
+	}
+	k.Schedule(2.0, func() {})
+	e := k.Schedule(1.0, func() {})
+	if k.PeekTime() != 1.0 {
+		t.Fatalf("PeekTime = %v, want 1.0", k.PeekTime())
+	}
+	k.Cancel(e)
+	if k.PeekTime() != 2.0 {
+		t.Fatalf("PeekTime after cancel = %v, want 2.0", k.PeekTime())
+	}
+}
+
+func TestPeekTaggedTracksOnlyTaggedEvents(t *testing.T) {
+	k := NewKernel(1)
+	k.EnableTagTracking()
+	if k.PeekTagged() != Infinity {
+		t.Fatalf("no tagged events: PeekTagged = %v, want Infinity", k.PeekTagged())
+	}
+	k.Schedule(0.5, func() {}) // untagged: invisible to PeekTagged
+	e2 := k.ScheduleTagged(2.0, func() {})
+	k.ScheduleTagged(3.0, func() {})
+	if k.PeekTagged() != 2.0 {
+		t.Fatalf("PeekTagged = %v, want 2.0", k.PeekTagged())
+	}
+	// Cancelling the earliest tagged event must advance the probe.
+	k.Cancel(e2)
+	if k.PeekTagged() != 3.0 {
+		t.Fatalf("PeekTagged after cancel = %v, want 3.0", k.PeekTagged())
+	}
+	// Running past a tagged event removes it from the tag heap too.
+	k.RunUntil(3.5)
+	if k.PeekTagged() != Infinity {
+		t.Fatalf("PeekTagged after run = %v, want Infinity", k.PeekTagged())
+	}
+}
+
+func TestAtTaggedReschedule(t *testing.T) {
+	k := NewKernel(1)
+	k.EnableTagTracking()
+	e := k.ScheduleTagged(5.0, func() {})
+	k.ScheduleTagged(7.0, func() {})
+	// A reschedule is cancel + AtTagged — the shape Timer.Reset uses —
+	// and must move the event in the tag heap, not just the main heap.
+	k.Cancel(e)
+	e = k.AtTagged(9.0, func() {})
+	if k.PeekTagged() != 7.0 {
+		t.Fatalf("PeekTagged after reschedule = %v, want 7.0", k.PeekTagged())
+	}
+	if e.At() != 9.0 {
+		t.Fatalf("event time = %v, want 9.0", e.At())
+	}
+}
+
+func TestTagTrackingOffIsFree(t *testing.T) {
+	// Without EnableTagTracking, ScheduleTagged/AtTagged degrade to the
+	// plain calls and PeekTagged stays Infinity — the sequential path
+	// pays nothing.
+	k := NewKernel(1)
+	k.ScheduleTagged(1.0, func() {})
+	if k.PeekTagged() != Infinity {
+		t.Fatalf("PeekTagged with tracking off = %v, want Infinity", k.PeekTagged())
+	}
+}
+
+func TestRunUntilBarrierIsExclusive(t *testing.T) {
+	k := NewKernel(1)
+	var got []float64
+	k.Schedule(1.0, func() { got = append(got, 1.0) })
+	k.Schedule(2.0, func() { got = append(got, 2.0) })
+	k.Schedule(3.0, func() { got = append(got, 3.0) })
+
+	// Events strictly before the barrier run; one exactly at it waits.
+	k.RunUntilBarrier(2.0)
+	if len(got) != 1 || got[0] != 1.0 {
+		t.Fatalf("after barrier 2.0: ran %v, want [1]", got)
+	}
+	if k.Now() != 2.0 {
+		t.Fatalf("clock = %v, want barrier time 2.0", k.Now())
+	}
+
+	// The held event runs in the next window.
+	k.RunUntilBarrier(2.5)
+	if len(got) != 2 || got[1] != 2.0 {
+		t.Fatalf("after barrier 2.5: ran %v, want [1 2]", got)
+	}
+
+	// RunUntil is inclusive by contrast: the 3.0 event runs at horizon 3.0.
+	k.RunUntil(3.0)
+	if len(got) != 3 {
+		t.Fatalf("after RunUntil(3.0): ran %v, want all three", got)
+	}
+}
+
+func TestRunUntilBarrierPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntilBarrier(1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntilBarrier into the past should panic")
+		}
+	}()
+	k.RunUntilBarrier(0.5)
+}
