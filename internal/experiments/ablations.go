@@ -57,12 +57,12 @@ func runSSAFOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, cancel bo
 	fcfg.Cancel = cancel
 	nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 	pairs := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Connections)
 	var cbrs []*traffic.CBR
 	for _, p := range pairs {
 		c := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(interval), packet.SizeData)
-		tap.watch(c)
+		tap.Watch(c)
 		c.Start()
 		cbrs = append(cbrs, c)
 	}
@@ -347,7 +347,7 @@ func runSleepOnce(ctx *sweep.Context, cfg Fig34Config, pairs int, frac float64, 
 		return routing.NewRouteless(routing.RoutelessConfig{Lambda: cfg.Lambda})
 	})
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, pairs)
 	endpoint := map[packet.NodeID]bool{}
 	var cbrs []*traffic.CBR
@@ -355,8 +355,8 @@ func runSleepOnce(ctx *sweep.Context, cfg Fig34Config, pairs int, frac float64, 
 		endpoint[p.Src], endpoint[p.Dst] = true, true
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		tap.watch(fwd)
-		tap.watch(rev)
+		tap.Watch(fwd)
+		tap.Watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)
@@ -437,14 +437,14 @@ func runSignalTieOnce(ctx *sweep.Context, cfg Fig34Config, pairs int, signal boo
 	rcfg := routing.RoutelessConfig{Lambda: cfg.Lambda, SignalTieBreak: signal}
 	nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, pairs)
 	var cbrs []*traffic.CBR
 	for _, p := range conns {
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		tap.watch(fwd)
-		tap.watch(rev)
+		tap.Watch(fwd)
+		tap.Watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)

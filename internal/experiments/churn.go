@@ -151,7 +151,7 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 	}
 
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Pairs)
 	endpoint := make(map[packet.NodeID]bool, 2*cfg.Pairs)
@@ -161,8 +161,8 @@ func runChurnOnce(ctx *sweep.Context, cfg ChurnConfig, proto RoutingProto, inten
 		endpoint[p.Dst] = true
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		tap.watch(fwd)
-		tap.watch(rev)
+		tap.Watch(fwd)
+		tap.Watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)

@@ -46,7 +46,7 @@ type appSample struct {
 	hops  int
 }
 
-// appTap meters application traffic across all nodes without touching
+// AppTap meters application traffic across all nodes without touching
 // the shared Meter from inside event handlers. Deliveries append to a
 // per-tile buffer (handlers on one tile only write that tile's buffer,
 // so the tap is safe under tiled PDES); fold replays them into the
@@ -55,19 +55,23 @@ type appSample struct {
 // hence every journaled app.* value, is unchanged from the inline
 // metering it replaces. Sends are counted from each watched CBR's own
 // counter instead of a shared-callback increment.
-type appTap struct {
+//
+// The type is exported for the scenario fuzzer (internal/fuzz), which
+// meters generated workloads through the exact tap the figures use so
+// both face the same oracle.
+type AppTap struct {
 	m      *stats.Meter
 	bufs   [][]appSample
 	cbrs   []*traffic.CBR
 	folded bool
 }
 
-// newAppTap attaches the tap to every node and exposes the (folded)
+// NewAppTap attaches the tap to every node and exposes the (folded)
 // meter on the network registry as the app.* series. Snapshots are
 // taken after collect, which folds first, so journaled values see the
 // complete run.
-func newAppTap(nw *node.Network, m *stats.Meter) *appTap {
-	t := &appTap{m: m, bufs: make([][]appSample, nw.NumTiles())}
+func NewAppTap(nw *node.Network, m *stats.Meter) *AppTap {
+	t := &AppTap{m: m, bufs: make([][]appSample, nw.NumTiles())}
 	for _, n := range nw.Nodes {
 		n := n
 		n.OnAppReceive = func(p *packet.Packet) {
@@ -86,13 +90,13 @@ func newAppTap(nw *node.Network, m *stats.Meter) *appTap {
 	return t
 }
 
-// watch registers a CBR flow whose generation count the fold adds to
+// Watch registers a CBR flow whose generation count the fold adds to
 // the meter's Sent.
-func (t *appTap) watch(c *traffic.CBR) { t.cbrs = append(t.cbrs, c) }
+func (t *AppTap) Watch(c *traffic.CBR) { t.cbrs = append(t.cbrs, c) }
 
 // fold replays the buffered deliveries into the meter in (time, tile)
 // order and folds the watched send counters. Idempotent.
-func (t *appTap) fold() {
+func (t *AppTap) fold() {
 	if t.folded {
 		return
 	}
@@ -128,17 +132,18 @@ func (t *appTap) fold() {
 	}
 }
 
-// collect converts a finished network + tap into RunMetrics. Every
-// experiment run — figures, ablations, and the benchmark configs —
-// funnels through here, so the packet conservation laws are asserted on
-// each of them; a violation is a simulator bug, not a measurement, and
-// panics.
-func collect(nw *node.Network, t *appTap) RunMetrics {
+// CollectChecked is the shared run-under-oracle helper: it folds the
+// tap, counts the network's events into the package throughput
+// accumulator, evaluates every conservation law and invariant, and
+// returns the run's paper-unit metrics together with any oracle
+// violation as an error value. Every experiment run funnels through
+// here via collect (which panics — a violation there is a simulator
+// bug, not a measurement); the scenario fuzzer calls it directly and
+// classifies the error as a verdict instead.
+func CollectChecked(nw *node.Network, t *AppTap) (RunMetrics, error) {
 	t.fold()
 	countNetworkEvents(nw)
-	if err := nw.CheckInvariants(); err != nil {
-		panic(err)
-	}
+	err := nw.CheckInvariants()
 	m := t.m
 	return RunMetrics{
 		Delay:      m.Delay.Mean(),
@@ -146,7 +151,17 @@ func collect(nw *node.Network, t *appTap) RunMetrics {
 		Delivery:   m.DeliveryRatio(),
 		MACPackets: float64(nw.MACPackets()),
 		EnergyJ:    nw.TotalEnergy(),
+	}, err
+}
+
+// collect converts a finished network + tap into RunMetrics, panicking
+// on any conservation-law violation.
+func collect(nw *node.Network, t *AppTap) RunMetrics {
+	rm, err := CollectChecked(nw, t)
+	if err != nil {
+		panic(err)
 	}
+	return rm
 }
 
 // runOut is one run's result as it crosses the parallel.Map boundary:

@@ -158,12 +158,12 @@ func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf boo
 	nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
 
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 	pairs := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Connections)
 	cbrs := make([]*traffic.CBR, len(pairs))
 	for i, p := range pairs {
 		cbrs[i] = traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(interval), cfg.DataSize)
-		tap.watch(cbrs[i])
+		tap.Watch(cbrs[i])
 		cbrs[i].Start()
 	}
 	nw.Run(sim.Time(cfg.Duration))

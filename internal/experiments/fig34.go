@@ -121,7 +121,7 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 	}
 
 	var meter stats.Meter
-	tap := newAppTap(nw, &meter)
+	tap := NewAppTap(nw, &meter)
 
 	conns := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, pairs)
 	endpoint := make(map[packet.NodeID]bool, 2*pairs)
@@ -132,8 +132,8 @@ func runRoutingOnce(ctx *sweep.Context, cfg Fig34Config, proto RoutingProto, pai
 		// "the traffic being bidirectional" (§4.3): both directions.
 		fwd := traffic.NewCBR(nw.Nodes[p.Src], p.Dst, sim.Time(cfg.Interval), cfg.DataSize)
 		rev := traffic.NewCBR(nw.Nodes[p.Dst], p.Src, sim.Time(cfg.Interval), cfg.DataSize)
-		tap.watch(fwd)
-		tap.watch(rev)
+		tap.Watch(fwd)
+		tap.Watch(rev)
 		fwd.Start()
 		rev.Start()
 		cbrs = append(cbrs, fwd, rev)

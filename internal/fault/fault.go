@@ -36,15 +36,32 @@ import (
 // Spec is one typed fault in a Plan: a CrashSpec, DrainSpec,
 // DegradeSpec, or JamSpec. The interface is closed — install wires the
 // fault into the injector's network with the event and stream ordering
-// the determinism contract requires.
+// the determinism contract requires, and validate rejects nonsensical
+// parameterizations before any process is started.
 type Spec interface {
 	install(inj *Injector, idx int)
+	validate() error
 }
 
 // Plan is an ordered list of fault specs. Order matters: a spec's
 // position fixes both its derived rng stream and its event-creation
 // order, both part of the determinism contract.
 type Plan []Spec
+
+// Validate checks every spec's parameters as values — NaN or negative
+// periods, out-of-range fractions, non-positive capacities — and
+// returns the first problem found, identified by the spec's position
+// and type. A plan that validates cleanly installs without panicking;
+// generated plans (the scenario fuzzer's) are rejected here instead of
+// killing the process mid-install.
+func (p Plan) Validate() error {
+	for i, s := range p {
+		if err := s.validate(); err != nil {
+			return fmt.Errorf("fault: plan spec %d (%T): %w", i, s, err)
+		}
+	}
+	return nil
+}
 
 // Injector is the handle returned by Install: it owns the fault
 // processes driving one network and the fault.* metric series they
@@ -70,16 +87,34 @@ type Injector struct {
 // Install wires plan into nw. All fault streams derive from nw.Seed.
 // An empty plan installs nothing and registers nothing, so a run with
 // the fault plane merely present stays byte-identical to one without.
+// The plan is validated first; an invalid plan panics. Callers holding
+// a plan of unknown provenance should use TryInstall.
 func Install(nw *node.Network, plan Plan) *Injector {
+	inj, err := TryInstall(nw, plan)
+	if err != nil {
+		panic(err.Error())
+	}
+	return inj
+}
+
+// TryInstall validates plan and, when it is clean, wires it into nw
+// exactly as Install does. An invalid plan is reported as an error
+// value with nothing installed — no metrics registered, no events
+// scheduled — so the network remains usable (and byte-identical to one
+// that never saw the plan).
+func TryInstall(nw *node.Network, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
 	inj := &Injector{nw: nw, degraded: make(map[[2]int32]bool)}
 	if len(plan) == 0 {
-		return inj
+		return inj, nil
 	}
 	inj.registerMetrics(nw.Metrics)
 	for i, s := range plan {
 		s.install(inj, i)
 	}
-	return inj
+	return inj, nil
 }
 
 // Crashes exposes the installed duty-cycle processes (test and
@@ -104,18 +139,23 @@ func (inj *Injector) registerMetrics(reg *metrics.Registry) {
 	reg.Invariant("fault-downtime", inj.checkDowntime)
 }
 
-// checkDowntime is the conservation bound behind CheckInvariants:
-// downtime accrued by the crash processes can never exceed
-// sim time × N. A small relative tolerance absorbs float summation
-// error across thousands of accrual terms.
+// checkDowntime is the conservation bound behind CheckInvariants: each
+// crash process's down phases are disjoint in time, so its accrued
+// downtime can never exceed the elapsed sim time, and the plan total is
+// bounded by sim time × number of crash processes. (The bound used to
+// multiply by the node count, which both overshot single-spec plans
+// with exclusions and undershot multi-crash plans — the scenario fuzzer
+// caught the latter.) A small relative tolerance absorbs float
+// summation error across thousands of accrual terms.
 func (inj *Injector) checkDowntime() error {
 	var total float64
 	for _, fp := range inj.crashes {
 		total += fp.DownTime()
 	}
-	limit := float64(inj.nw.Kernel.Now()) * float64(len(inj.nw.Nodes))
+	limit := float64(inj.nw.Kernel.Now()) * float64(len(inj.crashes))
 	if total > limit*(1+1e-9)+1e-9 {
-		return fmt.Errorf("crash downtime %.6f s exceeds sim time × N = %.6f s", total, limit)
+		return fmt.Errorf("crash downtime %.6f s exceeds sim time × %d crash processes = %.6f s",
+			total, len(inj.crashes), limit)
 	}
 	return nil
 }

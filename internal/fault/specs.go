@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 
 	"routeless/internal/geo"
@@ -9,6 +10,27 @@ import (
 	"routeless/internal/rng"
 	"routeless/internal/sim"
 )
+
+// finiteNonNeg rejects NaN, ±Inf, and negative values for fields where
+// zero means "use the default". Every time-like spec field (periods,
+// durations, stop times) validates through here: a negative or NaN
+// period would otherwise reach sim.NewTicker unchecked and either
+// panic mid-install or corrupt the event heap ordering.
+func finiteNonNeg(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s must be a finite non-negative number, got %v", name, v)
+	}
+	return nil
+}
+
+// finite rejects NaN and ±Inf for fields where any finite sign is
+// meaningful (dB offsets, dBm powers).
+func finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s must be finite, got %v", name, v)
+	}
+	return nil
+}
 
 // CrashSpec drives the paper's §4.3 duty-cycle transceiver failures on
 // a set of nodes, generalizing node.FailureProcess: each selected node
@@ -38,6 +60,16 @@ type CrashSpec struct {
 // Crash returns a crash/recovery duty-cycle fault with the given
 // long-run off fraction on every node.
 func Crash(offFraction float64) CrashSpec { return CrashSpec{OffFraction: offFraction} }
+
+// validate rejects off fractions outside [0, 1) — FailureProcess.Start
+// panics on p ≥ 1, and the validated path turns that process death into
+// a value — and non-finite or negative cycles.
+func (s CrashSpec) validate() error {
+	if math.IsNaN(s.OffFraction) || s.OffFraction < 0 || s.OffFraction >= 1 {
+		return fmt.Errorf("OffFraction must be in [0, 1), got %v", s.OffFraction)
+	}
+	return finiteNonNeg("Cycle", s.Cycle)
+}
 
 func (s CrashSpec) install(inj *Injector, idx int) {
 	for _, n := range selectNodes(inj.nw, s.Nodes, s.Exclude) {
@@ -75,12 +107,21 @@ type DrainSpec struct {
 // energy budget.
 func Drain(capacityJ float64) DrainSpec { return DrainSpec{CapacityJ: capacityJ} }
 
+// validate rejects non-positive or non-finite capacities and negative
+// or NaN poll periods as values, before install's panic backstop.
+func (s DrainSpec) validate() error {
+	if math.IsNaN(s.CapacityJ) || math.IsInf(s.CapacityJ, 0) || s.CapacityJ <= 0 {
+		return fmt.Errorf("CapacityJ must be positive and finite, got %v", s.CapacityJ)
+	}
+	return finiteNonNeg("Period", float64(s.Period))
+}
+
 func (s DrainSpec) install(inj *Injector, idx int) {
 	if s.CapacityJ <= 0 {
 		panic("fault: Drain capacity must be positive")
 	}
 	period := s.Period
-	if period == 0 {
+	if !(period > 0) { // catches negative, zero, and NaN: validate's backstop
 		period = 1
 	}
 	nodes := selectNodes(inj.nw, s.Nodes, s.Exclude)
@@ -127,17 +168,29 @@ type DegradeSpec struct {
 // Degrade returns a per-link shadowing fault with the given offset.
 func Degrade(offsetDB float64) DegradeSpec { return DegradeSpec{OffsetDB: offsetDB} }
 
+// validate rejects NaN/Inf offsets (any finite sign is a legal gain)
+// and negative or NaN periods and durations.
+func (s DegradeSpec) validate() error {
+	if err := finite("OffsetDB", s.OffsetDB); err != nil {
+		return err
+	}
+	if err := finiteNonNeg("Period", float64(s.Period)); err != nil {
+		return err
+	}
+	return finiteNonNeg("Duration", float64(s.Duration))
+}
+
 func (s DegradeSpec) install(inj *Injector, idx int) {
 	off := s.OffsetDB
 	if off == 0 {
 		off = -25
 	}
 	period := s.Period
-	if period == 0 {
+	if !(period > 0) {
 		period = 1
 	}
 	dur := s.Duration
-	if dur == 0 {
+	if !(dur > 0) {
 		dur = 1
 	}
 	r := inj.stream(idx)
@@ -193,21 +246,39 @@ type JamSpec struct {
 // Jam returns a roaming jammer with the given transmit power.
 func Jam(txPowerDBm float64) JamSpec { return JamSpec{TxPowerDBm: txPowerDBm} }
 
+// validate rejects non-finite powers and negative or NaN timing and
+// speed fields.
+func (s JamSpec) validate() error {
+	if err := finite("TxPowerDBm", s.TxPowerDBm); err != nil {
+		return err
+	}
+	if err := finiteNonNeg("Period", float64(s.Period)); err != nil {
+		return err
+	}
+	if err := finiteNonNeg("Burst", float64(s.Burst)); err != nil {
+		return err
+	}
+	if err := finiteNonNeg("SpeedMps", s.SpeedMps); err != nil {
+		return err
+	}
+	return finiteNonNeg("Stop", float64(s.Stop))
+}
+
 func (s JamSpec) install(inj *Injector, idx int) {
 	tx := s.TxPowerDBm
 	if tx == 0 {
 		tx = 24.5
 	}
 	period := s.Period
-	if period == 0 {
+	if !(period > 0) {
 		period = 250e-3
 	}
 	burst := s.Burst
-	if burst == 0 {
+	if !(burst > 0) {
 		burst = 5e-3
 	}
 	speed := s.SpeedMps
-	if speed == 0 {
+	if !(speed > 0) {
 		speed = 10
 	}
 	r := inj.stream(idx)

@@ -1,0 +1,113 @@
+package fuzz
+
+import (
+	"math"
+	"math/rand"
+
+	"routeless/internal/geo"
+	"routeless/internal/rng"
+)
+
+// Sub-stream labels under rng.StreamFuzz. The generator, the placement
+// builders, and per-node mobility each own a child stream, so adding a
+// draw to one never perturbs another.
+const (
+	subGenerate uint64 = 1 + iota
+	subPlacement
+	subMobility
+)
+
+// positions returns explicit node positions for the scenario's
+// placement style, or nil for uniform placement (which the network
+// builder draws itself from the scenario seed, exactly as experiments
+// do). Explicit styles draw from the scenario's placement sub-stream,
+// so a Scenario value pins its topology bit-for-bit.
+func positions(sc Scenario) []geo.Point {
+	switch sc.Placement {
+	case PlaceCluster:
+		return clusterPositions(sc)
+	case PlaceLine:
+		return linePositions(sc)
+	case PlaceGrid:
+		return gridPositions(sc)
+	default:
+		return nil
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clusterPositions drops nodes around a handful of uniform cluster
+// centers, with spread half the radio range — dense islands bridged by
+// whichever pairs happen to land close, the topology shape where
+// flooding redundancy assumptions break first.
+func clusterPositions(sc Scenario) []geo.Point {
+	r := rng.New(sc.Seed, rng.StreamFuzz, subPlacement)
+	k := 2 + sc.N/10
+	centers := make([]geo.Point, k)
+	for i := range centers {
+		centers[i] = geo.Point{X: r.Float64() * sc.Width, Y: r.Float64() * sc.Height}
+	}
+	spread := sc.Range / 2
+	pts := make([]geo.Point, sc.N)
+	for i := range pts {
+		c := centers[r.Intn(k)]
+		pts[i] = geo.Point{
+			X: clamp(c.X+(r.Float64()*2-1)*spread, 0, sc.Width),
+			Y: clamp(c.Y+(r.Float64()*2-1)*spread, 0, sc.Height),
+		}
+	}
+	return pts
+}
+
+// linePositions strings nodes along the terrain diagonal with jitter a
+// quarter of the range — long thin chains are the worst case for hop
+// metrics and for any protocol leaning on neighborhood redundancy.
+func linePositions(sc Scenario) []geo.Point {
+	r := rng.New(sc.Seed, rng.StreamFuzz, subPlacement)
+	jitter := sc.Range / 4
+	pts := make([]geo.Point, sc.N)
+	for i := range pts {
+		t := float64(i) / float64(sc.N-1)
+		pts[i] = geo.Point{
+			X: clamp(t*sc.Width+(r.Float64()*2-1)*jitter, 0, sc.Width),
+			Y: clamp(t*sc.Height+(r.Float64()*2-1)*jitter, 0, sc.Height),
+		}
+	}
+	return pts
+}
+
+// gridPositions lays nodes on a near-regular lattice with small jitter
+// — the degenerate geometry where many inter-node distances tie and
+// tie-breaking order bugs surface.
+func gridPositions(sc Scenario) []geo.Point {
+	r := rng.New(sc.Seed, rng.StreamFuzz, subPlacement)
+	cols := int(math.Ceil(math.Sqrt(float64(sc.N))))
+	rows := (sc.N + cols - 1) / cols
+	dx := sc.Width / float64(cols)
+	dy := sc.Height / float64(rows)
+	jitter := math.Min(dx, dy) / 10
+	pts := make([]geo.Point, sc.N)
+	for i := range pts {
+		cx := (float64(i%cols) + 0.5) * dx
+		cy := (float64(i/cols) + 0.5) * dy
+		pts[i] = geo.Point{
+			X: clamp(cx+(r.Float64()*2-1)*jitter, 0, sc.Width),
+			Y: clamp(cy+(r.Float64()*2-1)*jitter, 0, sc.Height),
+		}
+	}
+	return pts
+}
+
+// mobilityRng returns node i's waypoint stream.
+func mobilityRng(seed int64, i int) *rand.Rand {
+	return rng.New(seed, rng.StreamFuzz, subMobility, uint64(i))
+}

@@ -1,0 +1,256 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"routeless/internal/experiments"
+	"routeless/internal/fault"
+	"routeless/internal/flood"
+	"routeless/internal/metrics"
+	"routeless/internal/node"
+	"routeless/internal/packet"
+	"routeless/internal/phy"
+	"routeless/internal/propagation"
+	"routeless/internal/routing"
+	"routeless/internal/sim"
+	"routeless/internal/stats"
+	"routeless/internal/traffic"
+)
+
+// Verdicts, from least to most alarming. Everything except
+// VerdictInvalid past validation is a simulator bug.
+const (
+	// VerdictPass: the run satisfied every conservation law and
+	// reproduced bitwise under its own seed.
+	VerdictPass = "pass"
+	// VerdictInvalid: the scenario failed validation or construction
+	// (e.g. no connected placement exists). Not a bug — generated
+	// scenarios with this verdict are skipped, hand-written ones
+	// rejected.
+	VerdictInvalid = "invalid-scenario"
+	// VerdictViolation: a conservation law or invariant failed after
+	// the run — packets or signals were created or destroyed off the
+	// books.
+	VerdictViolation = "invariant-violation"
+	// VerdictDivergence: the same scenario produced two different
+	// metric snapshots under the same seed — the determinism contract
+	// is broken.
+	VerdictDivergence = "determinism-divergence"
+	// VerdictPanic: the simulator crashed instead of reporting an
+	// error.
+	VerdictPanic = "panic"
+)
+
+// Result is one scenario's structured verdict.
+type Result struct {
+	Verdict string `json:"verdict"`
+	// Detail explains non-pass verdicts: the validation error, the
+	// first violation, the panic value with stack, or the divergence
+	// site.
+	Detail string `json:"detail,omitempty"`
+	// Violations carries the full structured oracle output on
+	// invariant-violation verdicts.
+	Violations []metrics.Violation `json:"violations,omitempty"`
+	// Metrics carries the run's paper-unit outcome on pass verdicts.
+	Metrics *experiments.RunMetrics `json:"metrics,omitempty"`
+}
+
+// Failed reports whether the verdict indicates a simulator bug
+// (anything but pass and invalid-scenario).
+func (r Result) Failed() bool {
+	return r.Verdict != VerdictPass && r.Verdict != VerdictInvalid
+}
+
+// Runner executes scenarios under the oracle. The zero value is ready
+// to use.
+type Runner struct {
+	// Sabotage, when non-nil, runs after the simulation drains and
+	// before the oracle collects, with the run index (0 = first run,
+	// 1 = determinism re-run). It exists so tests can plant each
+	// failure class — corrupt a counter for a violation, corrupt only
+	// run 1 for a divergence, panic for a crash — without needing a
+	// real simulator bug on hand.
+	Sabotage func(run int, nw *node.Network)
+}
+
+// Run executes the scenario under the full oracle: validate, run once
+// under CheckInvariants, then re-run under the same seed and compare
+// metric snapshots byte for byte.
+func (r *Runner) Run(sc Scenario) Result {
+	if err := sc.Validate(); err != nil {
+		return Result{Verdict: VerdictInvalid, Detail: err.Error()}
+	}
+	first := r.runOnce(sc, 0)
+	if first.panicMsg != "" {
+		return Result{Verdict: VerdictPanic, Detail: first.panicMsg}
+	}
+	if first.buildErr != nil {
+		// Construction refused the validated scenario — an impossible
+		// placement, typically. The scenario, not the simulator, is at
+		// fault, and the structured error path is working as designed.
+		return Result{Verdict: VerdictInvalid, Detail: first.buildErr.Error()}
+	}
+	if len(first.violations) > 0 {
+		return Result{
+			Verdict:    VerdictViolation,
+			Detail:     first.violations[0].String(),
+			Violations: first.violations,
+		}
+	}
+	second := r.runOnce(sc, 1)
+	switch {
+	case second.panicMsg != "":
+		return Result{Verdict: VerdictDivergence,
+			Detail: "re-run panicked where first run completed: " + second.panicMsg}
+	case second.buildErr != nil:
+		return Result{Verdict: VerdictDivergence,
+			Detail: "re-run failed construction where first run completed: " + second.buildErr.Error()}
+	case len(second.violations) > 0:
+		return Result{Verdict: VerdictDivergence,
+			Detail: "re-run violated invariants where first run was clean: " + second.violations[0].String()}
+	case !bytes.Equal(first.snap, second.snap):
+		return Result{Verdict: VerdictDivergence,
+			Detail: fmt.Sprintf("metric snapshots differ between same-seed runs (%d vs %d bytes)",
+				len(first.snap), len(second.snap))}
+	}
+	m := first.metrics
+	return Result{Verdict: VerdictPass, Metrics: &m}
+}
+
+// onceOut is one simulation attempt's raw outcome.
+type onceOut struct {
+	snap       []byte // final metric snapshot, canonical JSON
+	metrics    experiments.RunMetrics
+	violations []metrics.Violation
+	buildErr   error
+	panicMsg   string
+}
+
+// runOnce builds and runs the scenario once, converting any panic into
+// a value. The build path goes through the error-returning TryNew /
+// TryInstall entry points, so only genuine simulator bugs can still
+// reach the recover.
+func (r *Runner) runOnce(sc Scenario, runIdx int) (out onceOut) {
+	defer func() {
+		if p := recover(); p != nil {
+			out.panicMsg = fmt.Sprintf("%v\n%s", p, debug.Stack())
+		}
+	}()
+
+	cfg := node.Config{
+		N:         sc.N,
+		Rect:      sc.Rect(),
+		Positions: positions(sc),
+		Range:     sc.Range,
+		Seed:      sc.Seed,
+		Tiles:     sc.Tiles,
+	}
+	if sc.Placement == PlaceUniform {
+		cfg.EnsureConnected = sc.Connected
+	}
+	if sc.Fading {
+		cfg.Fader = propagation.Rayleigh{}
+	}
+	nw, err := node.TryNew(cfg)
+	if err != nil {
+		out.buildErr = err
+		return
+	}
+	installProtocol(nw, sc)
+
+	var meter stats.Meter
+	tap := experiments.NewAppTap(nw, &meter)
+	cbrs := make([]*traffic.CBR, len(sc.Flows))
+	for i, f := range sc.Flows {
+		cbrs[i] = traffic.NewCBR(nw.Nodes[f.Src], packet.NodeID(f.Dst), sim.Time(sc.Interval), sc.DataSize)
+		tap.Watch(cbrs[i])
+		cbrs[i].Start()
+	}
+
+	var movers []*node.Waypoint
+	if m := sc.Mobility; m != nil {
+		for i := 0; i < m.Movers; i++ {
+			w := node.NewWaypoint(nw, nw.Nodes[i], mobilityRng(sc.Seed, i))
+			w.MinSpeed, w.MaxSpeed = m.MinSpeed, m.MaxSpeed
+			w.Start()
+			movers = append(movers, w)
+		}
+	}
+
+	plan, err := sc.Plan()
+	if err != nil {
+		out.buildErr = err
+		return
+	}
+	if _, err := fault.TryInstall(nw, plan); err != nil {
+		out.buildErr = err
+		return
+	}
+
+	nw.Run(sim.Time(sc.Duration))
+	for _, c := range cbrs {
+		c.Stop()
+	}
+	for _, w := range movers {
+		w.Stop()
+	}
+	// Experiments drain 5 s past traffic stop; the fuzzer matches so
+	// both face the same in-flight accounting at collect time.
+	nw.Run(sim.Time(sc.Duration) + 5)
+
+	if r.Sabotage != nil {
+		r.Sabotage(runIdx, nw)
+	}
+
+	rm, _ := experiments.CollectChecked(nw, tap)
+	out.metrics = rm
+	out.violations = nw.Metrics.Violations()
+	b, merr := json.Marshal(nw.Metrics.Snapshot())
+	if merr != nil {
+		panic(merr) // a snapshot that cannot encode is itself a bug
+	}
+	out.snap = b
+	return
+}
+
+// installProtocol attaches the scenario's network layer, mirroring the
+// experiment harness's protocol table.
+func installProtocol(nw *node.Network, sc Scenario) {
+	lambda := sim.Time(sc.Lambda)
+	if lambda == 0 {
+		lambda = 10e-3
+	}
+	switch sc.Protocol {
+	case ProtoCounter1:
+		fcfg := flood.Counter1Config(lambda)
+		nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+	case ProtoSSAF:
+		minDBm, maxDBm := ssafSpan(sc.Range)
+		fcfg := flood.SSAFConfig(lambda, minDBm, maxDBm)
+		nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+	case ProtoRouteless:
+		rcfg := routing.RoutelessConfig{Lambda: lambda}
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })
+	case ProtoAODV:
+		acfg := routing.AODVConfig{NoHello: true}
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewAODV(acfg) })
+	case ProtoGradient:
+		nw.Install(func(n *node.Node) node.Protocol { return routing.NewGradient(routing.GradientConfig{}) })
+	default:
+		// Validate rejects unknown protocols before runOnce.
+		panic("fuzz: unknown protocol " + sc.Protocol)
+	}
+}
+
+// ssafSpan mirrors the experiment harness's SSAF band: decode threshold
+// up to the power at one tenth of the transmission range.
+func ssafSpan(rangeM float64) (minDBm, maxDBm float64) {
+	model := propagation.NewFreeSpace()
+	params := phy.DefaultParams(model, rangeM)
+	minDBm = params.RxThreshDBm
+	maxDBm = propagation.ThresholdFor(model, params.TxPowerDBm, rangeM/10)
+	return
+}

@@ -306,34 +306,68 @@ func (r *Registry) term(names []string) string {
 	return strings.Join(parts, " + ")
 }
 
-// Check evaluates every registered law and returns an error describing
-// all violations (nil when every law holds). Both sides are exact
-// uint64 sums, so the comparison is precise at any instant.
-func (r *Registry) Check() error {
-	var msgs []string
+// Violation is one failed oracle check in structured form: which law
+// or invariant failed and a human-readable account of the imbalance.
+// The scenario fuzzer journals violations as values (its verdict
+// plumbing); Check folds them into one error for the panic paths.
+type Violation struct {
+	// Name is the registered law or invariant name.
+	Name string `json:"name"`
+	// Kind is "law" for a conservation-law imbalance, "invariant" for a
+	// custom predicate, or "config" when a law references an unknown or
+	// non-counter metric (a registration bug, not a runtime condition).
+	Kind string `json:"kind"`
+	// Detail describes the violation with the per-term values.
+	Detail string `json:"detail"`
+}
+
+// String renders the violation the way Check's error message does.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %q %s", v.Kind, v.Name, v.Detail)
+}
+
+// Violations evaluates every registered law and invariant and returns
+// the failures in registration order (laws first, then invariants), or
+// nil when every check holds. Both law sides are exact uint64 sums, so
+// the comparison is precise at any instant.
+func (r *Registry) Violations() []Violation {
+	var out []Violation
 	for _, l := range r.laws {
 		lhs, err := r.sum(l.left)
 		if err != nil {
-			msgs = append(msgs, fmt.Sprintf("law %q: %v", l.name, err))
+			out = append(out, Violation{Name: l.name, Kind: "config", Detail: err.Error()})
 			continue
 		}
 		rhs, err := r.sum(l.right)
 		if err != nil {
-			msgs = append(msgs, fmt.Sprintf("law %q: %v", l.name, err))
+			out = append(out, Violation{Name: l.name, Kind: "config", Detail: err.Error()})
 			continue
 		}
 		if lhs != rhs {
-			msgs = append(msgs, fmt.Sprintf("law %q violated: %d != %d (%s | %s)",
-				l.name, lhs, rhs, r.term(l.left), r.term(l.right)))
+			out = append(out, Violation{Name: l.name, Kind: "law",
+				Detail: fmt.Sprintf("violated: %d != %d (%s | %s)",
+					lhs, rhs, r.term(l.left), r.term(l.right))})
 		}
 	}
 	for _, iv := range r.invariants {
 		if err := iv.fn(); err != nil {
-			msgs = append(msgs, fmt.Sprintf("invariant %q violated: %v", iv.name, err))
+			out = append(out, Violation{Name: iv.name, Kind: "invariant",
+				Detail: fmt.Sprintf("violated: %v", err)})
 		}
 	}
-	if len(msgs) == 0 {
+	return out
+}
+
+// Check evaluates every registered law and invariant and returns an
+// error describing all violations (nil when every check holds).
+func (r *Registry) Check() error {
+	vs := r.Violations()
+	if len(vs) == 0 {
 		return nil
+	}
+	msgs := make([]string, len(vs))
+	for i, v := range vs {
+		msgs[i] = v.String()
 	}
 	return fmt.Errorf("metrics: %s", strings.Join(msgs, "; "))
 }

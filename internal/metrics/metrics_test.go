@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -207,5 +208,57 @@ func TestInvariant(t *testing.T) {
 	err := r.Check()
 	if err == nil || !strings.Contains(err.Error(), `invariant "downtime" violated: downtime exceeds sim time`) {
 		t.Fatalf("invariant violation not surfaced: %v", err)
+	}
+}
+
+// TestViolationsStructured covers the structured oracle output the
+// scenario fuzzer journals: one Violation per failed check, in
+// registration order (laws before invariants), with kind telling a
+// genuine imbalance apart from a law-declaration bug.
+func TestViolationsStructured(t *testing.T) {
+	r := NewRegistry()
+	sent := r.Counter("sent")
+	delivered := r.Counter("delivered")
+	r.Law("conservation", []string{"sent"}, []string{"delivered"})
+	broken := false
+	r.Invariant("sanity", func() error {
+		if broken {
+			return fmt.Errorf("sanity lost")
+		}
+		return nil
+	})
+
+	sent.Add(4)
+	delivered.Add(4)
+	if vs := r.Violations(); vs != nil {
+		t.Fatalf("clean registry reported violations: %v", vs)
+	}
+
+	sent.Inc()
+	broken = true
+	vs := r.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2: %v", len(vs), vs)
+	}
+	if vs[0].Name != "conservation" || vs[0].Kind != "law" {
+		t.Errorf("first violation = %+v, want the law imbalance", vs[0])
+	}
+	if !strings.Contains(vs[0].Detail, "5 != 4") {
+		t.Errorf("law detail %q lacks the imbalance", vs[0].Detail)
+	}
+	if vs[1].Name != "sanity" || vs[1].Kind != "invariant" {
+		t.Errorf("second violation = %+v, want the invariant", vs[1])
+	}
+
+	r.Law("bad", []string{"nope"}, []string{"sent"})
+	vs = r.Violations()
+	var config *Violation
+	for i := range vs {
+		if vs[i].Kind == "config" {
+			config = &vs[i]
+		}
+	}
+	if config == nil || config.Name != "bad" {
+		t.Errorf("law over an unknown metric not classified as config: %v", vs)
 	}
 }

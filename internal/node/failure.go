@@ -29,6 +29,14 @@ type FailureProcess struct {
 	rng   *rand.Rand
 	timer *sim.Timer
 
+	// down is this process's own phase. It deliberately does NOT mirror
+	// node.Up(): the node's power state is shared (a battery drain or a
+	// second crash process may fail the node mid-phase), and keying the
+	// phase machine off shared state accrued downtime from a downSince
+	// this process never set. Found by the scenario fuzzer
+	// (internal/fuzz/testdata/crash_shared_state.json).
+	down bool
+
 	// counters
 	failures   metrics.Counter
 	recoveries metrics.Counter
@@ -68,10 +76,10 @@ func (fp *FailureProcess) Start() {
 	fp.timer.Reset(fp.upDuration())
 }
 
-// Stop halts the process, recovering the node if it is down.
+// Stop halts the process, closing its down phase if one is open.
 func (fp *FailureProcess) Stop() {
 	fp.timer.Stop()
-	if !fp.node.Up() {
+	if fp.down {
 		fp.recover()
 	}
 }
@@ -79,10 +87,13 @@ func (fp *FailureProcess) Stop() {
 // Failures returns how many times the node went down.
 func (fp *FailureProcess) Failures() uint64 { return fp.failures.Value() }
 
-// DownTime returns accumulated seconds spent off, up to now.
+// DownTime returns seconds accumulated in this process's down phases,
+// up to now. Phases are disjoint in time, so the total never exceeds
+// the elapsed sim time — the conservation bound CheckInvariants holds
+// per process.
 func (fp *FailureProcess) DownTime() float64 {
 	d := fp.totalDown
-	if !fp.node.Up() {
+	if fp.down {
 		d += float64(fp.node.Kernel.Now() - fp.downSince)
 	}
 	return d
@@ -99,7 +110,8 @@ func (fp *FailureProcess) downDuration() sim.Time {
 }
 
 func (fp *FailureProcess) flip() {
-	if fp.node.Up() {
+	if !fp.down {
+		fp.down = true
 		fp.failures.Inc()
 		fp.downSince = fp.node.Kernel.Now()
 		if fp.Sleep {
@@ -115,6 +127,7 @@ func (fp *FailureProcess) flip() {
 }
 
 func (fp *FailureProcess) recover() {
+	fp.down = false
 	fp.recoveries.Inc()
 	fp.totalDown += float64(fp.node.Kernel.Now() - fp.downSince)
 	fp.node.Recover()

@@ -124,7 +124,25 @@ type Network struct {
 
 // New builds the network. It panics on nonsensical configuration —
 // construction errors are programming errors in experiment setup.
+// Callers holding a configuration of unknown provenance (the scenario
+// fuzzer's generated topologies) use TryNew, which reports the same
+// conditions as error values instead.
 func New(cfg Config) *Network {
+	nw, err := TryNew(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return nw
+}
+
+// TryNew builds the network, returning an error instead of panicking
+// when the configuration cannot produce one: non-positive N without
+// explicit positions, no connected placement within the attempt budget,
+// or a tiled network combined with fading (the per-link fading stream
+// is sequential). The random draws on the success path are identical to
+// New's, so a configuration that constructs at all constructs
+// bitwise-identically through either entry point.
+func TryNew(cfg Config) (*Network, error) {
 	if cfg.Rect == (geo.Rect{}) {
 		cfg.Rect = geo.NewRect(1000, 1000)
 	}
@@ -150,13 +168,19 @@ func New(cfg Config) *Network {
 	if tiles < 1 {
 		tiles = 1
 	}
+	if tiles > 1 && cfg.Fader != nil {
+		if _, noFade := cfg.Fader.(propagation.NoFade); !noFade {
+			return nil, fmt.Errorf("node: tiled network requires NoFade (the fading stream is sequential), got fader %q with %d tiles",
+				cfg.Fader.Name(), tiles)
+		}
+	}
 	kernel := sim.NewKernelPooled(rng.Derive(cfg.Seed, 0xC0FFEE), rt.Events)
 	params := phy.DefaultParams(cfg.Model, cfg.Range)
 
 	positions := cfg.Positions
 	if positions == nil {
 		if cfg.N <= 0 {
-			panic("node: Config.N must be positive without explicit positions")
+			return nil, fmt.Errorf("node: Config.N must be positive without explicit positions, got %d", cfg.N)
 		}
 		placer := rng.New(cfg.Seed, rng.StreamTopology)
 		positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
@@ -171,8 +195,8 @@ func New(cfg Config) *Network {
 					break
 				}
 				if try == 99 {
-					panic(fmt.Sprintf("node: no connected placement found for N=%d range=%.0f in %vx%v",
-						cfg.N, cfg.Range, cfg.Rect.Width(), cfg.Rect.Height()))
+					return nil, fmt.Errorf("node: no connected placement found for N=%d range=%.0f in %vx%v",
+						cfg.N, cfg.Range, cfg.Rect.Width(), cfg.Rect.Height())
 				}
 				positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
 			}
@@ -270,7 +294,7 @@ func New(cfg Config) *Network {
 		}
 	}
 	nw.registerLaws()
-	return nw
+	return nw, nil
 }
 
 // NumTiles returns how many PDES tiles the network runs on (1 when

@@ -1,0 +1,98 @@
+package node
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"routeless/internal/geo"
+	"routeless/internal/propagation"
+)
+
+// TestTryNewRejectsImpossiblePlacement is the fails-pre-fix regression
+// for the EnsureConnected panic: a density far too sparse for a
+// connected unit-disk graph used to kill the process after 100 draws
+// (network.go's placement loop); the fuzzer needs that classified as
+// scenario-invalid. The config below (3 nodes, 30 m range, 100 km
+// square) cannot connect at any luck.
+func TestTryNewRejectsImpossiblePlacement(t *testing.T) {
+	nw, err := TryNew(Config{
+		N:               3,
+		Rect:            geo.NewRect(100000, 100000),
+		Range:           30,
+		Seed:            1,
+		EnsureConnected: true,
+	})
+	if err == nil {
+		t.Fatal("TryNew found a connected placement in an impossible configuration")
+	}
+	if nw != nil {
+		t.Error("TryNew returned a network alongside an error")
+	}
+	if !strings.Contains(err.Error(), "no connected placement") {
+		t.Errorf("error %q does not describe the placement failure", err)
+	}
+}
+
+// TestTryNewRejectsNonPositiveN covers the other construction error.
+func TestTryNewRejectsNonPositiveN(t *testing.T) {
+	if _, err := TryNew(Config{N: 0, Seed: 1}); err == nil {
+		t.Error("TryNew accepted N=0 without positions")
+	}
+	if _, err := TryNew(Config{N: -7, Seed: 1}); err == nil {
+		t.Error("TryNew accepted negative N")
+	}
+}
+
+// TestTryNewRejectsTiledFading pins the constraint matrix at the
+// construction boundary: fading draws are sequential, so a tiled
+// network with a real fader must be an error, not a deep phy panic.
+func TestTryNewRejectsTiledFading(t *testing.T) {
+	_, err := TryNew(Config{
+		N: 20, Seed: 1, Tiles: 4,
+		Fader: propagation.Rayleigh{},
+	})
+	if err == nil {
+		t.Fatal("TryNew accepted tiles=4 with Rayleigh fading")
+	}
+	if !strings.Contains(err.Error(), "NoFade") {
+		t.Errorf("error %q does not explain the NoFade requirement", err)
+	}
+	// NoFade explicitly set is fine.
+	if _, err := TryNew(Config{N: 20, Seed: 1, Tiles: 4, Fader: propagation.NoFade{}}); err != nil {
+		t.Errorf("TryNew rejected tiles=4 with explicit NoFade: %v", err)
+	}
+}
+
+// TestTryNewMatchesNew pins the bitwise contract: a config that
+// constructs at all must produce the identical network through either
+// entry point (same placement draws, same metric registry bytes).
+func TestTryNewMatchesNew(t *testing.T) {
+	cfg := Config{N: 25, Rect: geo.NewRect(500, 500), Seed: 7, EnsureConnected: true}
+	a := New(cfg)
+	b, err := TryNew(cfg)
+	if err != nil {
+		t.Fatalf("TryNew failed where New succeeded: %v", err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Pos != b.Nodes[i].Pos {
+			t.Fatalf("node %d placed at %v vs %v", i, a.Nodes[i].Pos, b.Nodes[i].Pos)
+		}
+	}
+	sa, _ := json.Marshal(a.Metrics.Snapshot())
+	sb, _ := json.Marshal(b.Metrics.Snapshot())
+	if string(sa) != string(sb) {
+		t.Error("initial metric snapshots differ between New and TryNew")
+	}
+}
+
+// TestNewStillPanics pins the backstop behavior for hand-written
+// experiment code.
+func TestNewStillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on N=0")
+		}
+	}()
+	New(Config{N: 0, Seed: 1})
+}

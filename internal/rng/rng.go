@@ -50,6 +50,7 @@ const (
 	StreamChannel                    // fading draws
 	StreamElection                   // election metric jitter
 	StreamFault                      // fault-plane spec streams (jammer walk, link picks)
+	StreamFuzz                       // scenario-fuzzer draws (generator, placements, mobility)
 )
 
 // ForNode derives a per-node, per-layer stream: same master seed and

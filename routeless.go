@@ -187,6 +187,8 @@ func WithFaults(plan FaultPlan) Option {
 
 // NewNetwork builds a network from the options. Both call forms work:
 // a single NetworkConfig struct literal, or field options like WithN.
+// It panics on nonsensical configuration; TryNewNetwork reports the
+// same conditions as error values.
 func NewNetwork(opts ...Option) *Network {
 	var s netSetup
 	for _, o := range opts {
@@ -197,6 +199,30 @@ func NewNetwork(opts ...Option) *Network {
 		fault.Install(nw, s.faults)
 	}
 	return nw
+}
+
+// TryNewNetwork builds a network from the options, returning an error
+// instead of panicking when construction cannot succeed: non-positive
+// N, no connected placement found under WithEnsureConnected, a tiled
+// configuration combined with fading, or an invalid fault plan. The
+// success path is bitwise identical to NewNetwork's, so generated
+// scenarios (the fuzzer's) and hand-written experiments share one
+// construction semantics.
+func TryNewNetwork(opts ...Option) (*Network, error) {
+	var s netSetup
+	for _, o := range opts {
+		o.apply(&s)
+	}
+	nw, err := node.TryNew(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.faults) > 0 {
+		if _, err := fault.TryInstall(nw, s.faults); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
 }
 
 // NewFailureProcess builds a duty-cycle failure process for n.
