@@ -14,6 +14,8 @@
 //	simbench -scaling 1,4 -min-speedup 1.6   # CI scaling gate
 //	simbench -tiles 1,4           # intra-run tiled-PDES scaling study
 //	simbench -tiles 1,4 -min-tiled-speedup 1.6 -out BENCH_7.json
+//	simbench -mega                # million-node arena cost point (events/sec, bytes/node)
+//	simbench -mega -mega-nodes 100000 -max-bytes-node 1024 -baseline BENCH_9.json
 //	simbench -baseline BENCH_2.json -max-regress 0.20
 //	simbench -journal runs.jsonl  # append a JSONL run journal
 //	simbench -cpuprofile cpu.out -memprofile mem.out -trace trace.out
@@ -39,6 +41,17 @@
 // gates the speedup at the highest measured tile count the same way).
 // Tiled runs are bitwise identical to sequential ones, so this study
 // measures pure engine overhead/speedup, not workload drift.
+//
+// With -mega, a single fig_mega arena (default one million nodes at
+// Figure-1 density, auto-tiled) replaces the figure suite. On top of
+// events/sec the mode reports the memory constants the O(active) data
+// plane promises: the post-GC heap retained by the built arena divided
+// by the node count (gated by -max-bytes-node — the per-node state the
+// SoA layout controls), plus the run's peak heap footprint
+// (runtime.ReadMemStats HeapSys growth, garbage and link caches
+// included — recorded, not gated). -baseline compares mega events/sec
+// under the usual -max-regress (BENCH_9.json is the committed mega
+// snapshot).
 //
 // With -journal, the fig1/fig3/fig4 sweeps write one record per run
 // (config, seed, final metric snapshot) and every measured figure adds
@@ -121,10 +134,36 @@ type Report struct {
 	Tiled        []TiledPoint `json:"tiled,omitempty"`
 	TiledSpeedup float64      `json:"tiled_speedup,omitempty"`
 	TiledNote    string       `json:"tiled_note,omitempty"`
+	// Mega holds the -mega arena cost point (BENCH_9.json).
+	Mega *MegaResult `json:"mega,omitempty"`
 	// BenchmarkFig1 preserves the hand-recorded `go test -bench`
 	// before/after comparison from the baseline report, so regenerating
 	// the snapshot does not lose the historical record.
 	BenchmarkFig1 json.RawMessage `json:"benchmark_fig1,omitempty"`
+}
+
+// MegaResult is the -mega study's cost point: throughput plus the
+// memory constants of one auto-tiled fig_mega arena.
+type MegaResult struct {
+	Nodes        int     `json:"nodes"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// RetainedBytes is the post-GC heap retained by the built arena —
+	// node, radio, MAC, and protocol state before any traffic — as
+	// measured by the MegaConfig.MemProbe hook with sweep workers
+	// pinned to 1. This is the per-node constant the SoA arena layout
+	// controls.
+	RetainedBytes uint64 `json:"retained_bytes"`
+	// BytesPerNode is RetainedBytes divided by the node count — the
+	// number the ≤1 KiB/node gate rides on.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// PeakHeapBytes is the heap footprint high-water mark of the whole
+	// run: HeapSys growth from a post-GC baseline taken before the
+	// arena was built. It includes link caches, the event pool, GC
+	// headroom, and floating garbage — deliberately, since that is the
+	// memory a box must actually have. Recorded, not gated.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // The configurations below mirror bench_test.go exactly; simbench and
@@ -408,6 +447,81 @@ func runTiledStudy(rep *Report, tileCounts []int, minTiled float64, out string) 
 	return 0
 }
 
+// runMegaStudy is the -mega mode: one fig_mega arena, auto-tiled, sweep
+// workers pinned to 1 so the intra-run tile pool is the only
+// parallelism. Gates: -max-bytes-node on the retained-arena-per-node
+// constant, and the usual -baseline/-max-regress on mega events/sec.
+func runMegaStudy(rep *Report, nodes int, maxBytesNode float64, baselinePath string, maxRegress float64, journal *metrics.Journal, out string) int {
+	fmt.Printf("mega arena study: %d nodes at Figure-1 density, auto-tiled, GOMAXPROCS=%d\n",
+		nodes, rep.GOMAXPROCS)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	experiments.ResetEventCount()
+	//lint:ignore wallclock wall-time of a whole experiment run, measured outside the event loop
+	start := time.Now()
+	var retained uint64
+	experiments.RunMega(experiments.MegaConfig{
+		Ns: []int{nodes}, Workers: 1, Journal: journal,
+		MemProbe: func(_ int, b uint64) { retained = b },
+	})
+	//lint:ignore wallclock closes the timing window opened above, after every kernel has drained
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	events := experiments.EventCount()
+	m := &MegaResult{
+		Nodes:         nodes,
+		Events:        events,
+		WallSeconds:   elapsed,
+		EventsPerSec:  float64(events) / elapsed,
+		RetainedBytes: retained,
+		PeakHeapBytes: after.HeapSys - before.HeapSys,
+	}
+	m.BytesPerNode = float64(m.RetainedBytes) / float64(nodes)
+	rep.Mega = m
+	fmt.Printf("mega n=%-8d %12d events %8.2fs %12.0f events/sec %8.1f B/node retained %12d B peak heap\n",
+		m.Nodes, m.Events, m.WallSeconds, m.EventsPerSec, m.BytesPerNode, m.PeakHeapBytes)
+
+	gateFailed := false
+	if maxBytesNode > 0 && m.BytesPerNode > maxBytesNode {
+		fmt.Fprintf(os.Stderr, "simbench: mega retained arena %.1f bytes/node exceeds the %.0f bytes/node gate\n",
+			m.BytesPerNode, maxBytesNode)
+		gateFailed = true
+	}
+	if baselinePath != "" {
+		base, err := loadReport(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+		if base.Mega != nil && base.Mega.EventsPerSec > 0 {
+			ratio := m.EventsPerSec / base.Mega.EventsPerSec
+			fmt.Printf("  vs baseline mega  %6.2fx  (%.0f -> %.0f events/sec, baseline n=%d)\n",
+				ratio, base.Mega.EventsPerSec, m.EventsPerSec, base.Mega.Nodes)
+			if ratio < 1-maxRegress {
+				fmt.Fprintf(os.Stderr, "simbench: mega events/sec regression beyond %.0f%%\n", maxRegress*100)
+				gateFailed = true
+			}
+		}
+	}
+	if out != "" {
+		if err := writeReport(rep, out); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 2
+		}
+	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: journal:", err)
+			return 1
+		}
+	}
+	if gateFailed {
+		return 1
+	}
+	return 0
+}
+
 // gitRev stamps journal records with the checkout's short commit hash;
 // it returns "" outside a git checkout (the field is then omitted).
 func gitRev() string {
@@ -435,6 +549,9 @@ func run() int {
 		minSpeedup = flag.Float64("min-speedup", 0, "fail if aggregate speedup at the highest -scaling worker count is below this (0 = no gate)")
 		tilesF     = flag.String("tiles", "", "comma-separated intra-run tile counts for the tiled-PDES study, e.g. 1,4 (replaces the figure suite)")
 		minTiled   = flag.Float64("min-tiled-speedup", 0, "fail if tiled speedup at the highest -tiles count is below this (0 = no gate)")
+		megaF      = flag.Bool("mega", false, "run the mega arena cost point instead of the figure suite")
+		megaNodes  = flag.Int("mega-nodes", 1_000_000, "node count for the -mega arena")
+		maxBytesN  = flag.Float64("max-bytes-node", 0, "fail if the -mega peak heap exceeds this many bytes per node (0 = no gate)")
 		journalF   = flag.String("journal", "", "append a JSONL run journal to this file")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -523,6 +640,9 @@ func run() int {
 	}
 	if len(tileCounts) > 0 {
 		return runTiledStudy(&rep, tileCounts, *minTiled, *out)
+	}
+	if *megaF {
+		return runMegaStudy(&rep, *megaNodes, *maxBytesN, *baseline, *maxRegress, journal, *out)
 	}
 	// names pairs base-measurement figures with their scaling reruns:
 	// the base pass measures at -workers, then each -scaling count

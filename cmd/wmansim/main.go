@@ -10,7 +10,9 @@
 //	wmansim -exp fig4            # Figure 4 (… under node failures)
 //	wmansim -exp abl1|abl2|abl3|abl4
 //	wmansim -exp churn           # fault-plane churn study (-churn shorthand)
-//	wmansim -exp all
+//	wmansim -exp mega            # million-node arena ladder (SSAF at Figure-1 density)
+//	wmansim -mega                # shorthand: the single N=1,000,000 mega run
+//	wmansim -exp all             # every figure except mega (it is a scale proof, not a figure)
 //
 // Scale selection:
 //
@@ -57,8 +59,9 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|churn|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|churn|mega|all")
 		churn    = flag.Bool("churn", false, "shorthand for -exp churn")
+		mega     = flag.Bool("mega", false, "shorthand for -exp mega at N=1,000,000 only")
 		scale    = flag.String("scale", "small", "full (paper scale) or small (same density, faster)")
 		seeds    = flag.Int("seeds", 3, "independent replications per point")
 		duration = flag.Float64("duration", 0, "traffic seconds per run (0 = scale default)")
@@ -71,6 +74,9 @@ func run() int {
 	flag.Parse()
 	if *churn {
 		*exp = "churn"
+	}
+	if *mega {
+		*exp = "mega"
 	}
 	if *tiles < 1 {
 		fmt.Fprintf(os.Stderr, "wmansim: -tiles must be >= 1 (got %d)\n", *tiles)
@@ -105,6 +111,21 @@ func run() int {
 	fig34 := experiments.Fig34Config{Seeds: seedList, Workers: *workers, Tiles: *tiles, Duration: *duration, Journal: journal}
 	fig2 := experiments.Fig2Config{Seed: seedList[0], Workers: *workers}
 	churnCfg := experiments.ChurnConfig{Seeds: seedList, Workers: *workers, Tiles: *tiles, Duration: *duration, Journal: journal}
+	// Mega runs auto-size their PDES tiling from the arena (the point of
+	// the study); an explicit -tiles above 1 overrides that, -tiles 1
+	// keeps the default. Replications default to one — each x-axis point
+	// is a whole arena, not a noisy sample.
+	megaCfg := experiments.MegaConfig{Seeds: seedList[:1], Workers: *workers, Duration: *duration, Journal: journal}
+	if *tiles > 1 {
+		megaCfg.Tiles = *tiles
+	}
+	if *mega {
+		megaCfg.Ns = []int{1_000_000}
+	} else if full {
+		megaCfg.Ns = []int{10_000, 100_000, 1_000_000}
+	} else {
+		megaCfg.Ns = []int{1_000, 10_000, 100_000}
+	}
 	if !full {
 		// Same node density as the paper, quarter the area.
 		fig1.Nodes, fig1.Terrain = 60, 800
@@ -169,6 +190,8 @@ func run() int {
 			tbl = experiments.Abl6Table(experiments.RunAbl6(fig34))
 		case "churn":
 			tbl = experiments.ChurnTable(experiments.RunChurn(churnCfg))
+		case "mega":
+			tbl = experiments.MegaTable(experiments.RunMega(megaCfg))
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			return false

@@ -25,7 +25,7 @@ func run(ssaf bool) (m routeless.Meter, macPackets uint64) {
 		cfg = routeless.Counter1Config(10e-3)
 	}
 	nw.Install(func(n *routeless.Node) routeless.Protocol {
-		return routeless.NewFlooding(cfg)
+		return routeless.NewFlooding(&cfg)
 	})
 
 	for _, n := range nw.Nodes {

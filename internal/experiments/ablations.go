@@ -55,7 +55,7 @@ func runSSAFOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, cancel bo
 	minDBm, maxDBm := ssafSpan(cfg.Range)
 	fcfg := flood.SSAFConfig(cfg.Lambda, minDBm, maxDBm)
 	fcfg.Cancel = cancel
-	nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+	nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
 	var meter stats.Meter
 	tap := NewAppTap(nw, &meter)
 	pairs := traffic.RandomPairs(rng.New(seed, rng.StreamTraffic), cfg.Nodes, cfg.Connections)

@@ -155,7 +155,7 @@ func runFloodOnce(ctx *sweep.Context, cfg Fig1Config, interval float64, ssaf boo
 	} else {
 		fcfg = flood.Counter1Config(cfg.Lambda)
 	}
-	nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+	nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
 
 	var meter stats.Meter
 	tap := NewAppTap(nw, &meter)

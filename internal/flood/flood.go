@@ -87,20 +87,22 @@ type Stats struct {
 
 // floodCounters is the live counter storage behind Stats.
 type floodCounters struct {
-	originated metrics.Counter
-	forwards   metrics.Counter
-	duplicates metrics.Counter
-	cancelled  metrics.Counter
-	delivered  metrics.Counter
-	ttlDrops   metrics.Counter
+	originated metrics.Counter32
+	forwards   metrics.Counter32
+	duplicates metrics.Counter32
+	cancelled  metrics.Counter32
+	delivered  metrics.Counter32
+	ttlDrops   metrics.Counter32
 }
 
 // Flooding is one node's instance of the protocol.
 type Flooding struct {
-	cfg   Config
+	// cfg is shared across the population (see New); never written
+	// after the first New on it.
+	cfg   *Config
 	n     *node.Node
 	seq   uint32
-	dedup *packet.DedupCache
+	dedup packet.DedupCache
 	// pending maps logical packets to their armed rebroadcasts, used
 	// by the Cancel variant: cancellation can strike while the backoff
 	// timer runs or while the frame waits in the MAC queue.
@@ -119,8 +121,22 @@ type pendingForward struct {
 	queued bool
 }
 
-// New builds a flooding instance; install it with Network.Install.
-func New(cfg Config) *Flooding {
+// New builds a flooding instance; install it with Network.Install or
+// (sharing one Config across the population) InstallAggregated. cfg is
+// retained, not copied — every node's instance reads the same Config,
+// which is 48 bytes of identical bytes per node otherwise — and New
+// fills in zero-valued defaults in place, so callers must not mutate
+// it after the first New.
+func New(cfg *Config) *Flooding {
+	f := &Flooding{}
+	Init(f, cfg)
+	return f
+}
+
+// Init initializes f in place — the arena alternative to New for
+// mega-scale populations that lay their Flooding instances out in one
+// contiguous slice. Same contract as New: cfg is retained and shared.
+func Init(f *Flooding, cfg *Config) {
 	if cfg.Policy == nil && !cfg.Blind {
 		panic("flood: Config.Policy required")
 	}
@@ -130,11 +146,11 @@ func New(cfg Config) *Flooding {
 	if cfg.DedupCap == 0 {
 		cfg.DedupCap = 4096
 	}
-	return &Flooding{
-		cfg:     cfg,
-		dedup:   packet.NewDedupCache(cfg.DedupCap),
-		pending: make(map[packet.FlowKey]*pendingForward),
-	}
+	// pending is lazily allocated by armForward: only the Cancel
+	// variant ever reads it, and at mega scale an eager empty map per
+	// node is measurable arena weight.
+	*f = Flooding{cfg: cfg}
+	f.dedup.Init(cfg.DedupCap)
 }
 
 // Start implements node.Protocol.
@@ -155,12 +171,37 @@ func (f *Flooding) Stats() Stats {
 // RegisterMetrics registers the flooding counters; per-node sources sum
 // into network-wide flood.* series.
 func (f *Flooding) RegisterMetrics(reg *metrics.Registry) {
-	reg.Observe("flood.originated", &f.stats.originated)
-	reg.Observe("flood.forwards", &f.stats.forwards)
-	reg.Observe("flood.duplicates", &f.stats.duplicates)
-	reg.Observe("flood.cancelled", &f.stats.cancelled)
-	reg.Observe("flood.delivered", &f.stats.delivered)
-	reg.Observe("flood.ttl_drops", &f.stats.ttlDrops)
+	reg.Observe32("flood.originated", &f.stats.originated)
+	reg.Observe32("flood.forwards", &f.stats.forwards)
+	reg.Observe32("flood.duplicates", &f.stats.duplicates)
+	reg.Observe32("flood.cancelled", &f.stats.cancelled)
+	reg.Observe32("flood.delivered", &f.stats.delivered)
+	reg.Observe32("flood.ttl_drops", &f.stats.ttlDrops)
+}
+
+// RegisterAggregate registers the network-wide flood.* series as
+// aggregate func-counters summing over every instance in floods, in the
+// exact order RegisterMetrics registers them per node. The registry
+// sums same-name sources at snapshot time, so the aggregate exposes
+// bit-identical snapshots to N per-node registrations while costing
+// O(1) registry entries instead of O(N) — install with
+// Network.InstallAggregated at mega scale.
+func RegisterAggregate(reg *metrics.Registry, floods []*Flooding) {
+	sum := func(pick func(*floodCounters) *metrics.Counter32) func() uint64 {
+		return func() uint64 {
+			var s uint64
+			for _, f := range floods {
+				s += pick(&f.stats).Value()
+			}
+			return s
+		}
+	}
+	reg.Func("flood.originated", sum(func(s *floodCounters) *metrics.Counter32 { return &s.originated }))
+	reg.Func("flood.forwards", sum(func(s *floodCounters) *metrics.Counter32 { return &s.forwards }))
+	reg.Func("flood.duplicates", sum(func(s *floodCounters) *metrics.Counter32 { return &s.duplicates }))
+	reg.Func("flood.cancelled", sum(func(s *floodCounters) *metrics.Counter32 { return &s.cancelled }))
+	reg.Func("flood.delivered", sum(func(s *floodCounters) *metrics.Counter32 { return &s.delivered }))
+	reg.Func("flood.ttl_drops", sum(func(s *floodCounters) *metrics.Counter32 { return &s.ttlDrops }))
 }
 
 // Send implements node.Protocol: originate a flooded data packet.
@@ -258,6 +299,9 @@ func (f *Flooding) armForward(pkt *packet.Packet, rssiDBm float64) {
 		}
 		f.transmit(pf.fwd, float64(backoff))
 	})
+	if f.pending == nil {
+		f.pending = make(map[packet.FlowKey]*pendingForward)
+	}
 	f.pending[key] = pf
 	pf.timer.Reset(backoff)
 }

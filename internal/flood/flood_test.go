@@ -18,7 +18,7 @@ func build(t *testing.T, cfg Config, seed int64, positions ...geo.Point) (*node.
 	floods := make([]*Flooding, len(positions))
 	i := 0
 	nw.Install(func(n *node.Node) node.Protocol {
-		f := New(cfg)
+		f := New(&cfg)
 		floods[i] = f
 		i++
 		return f
@@ -72,8 +72,9 @@ func TestCounter1EachNodeForwardsOnce(t *testing.T) {
 func TestFloodReachesEveryNodeInField(t *testing.T) {
 	nw := node.New(node.Config{N: 60, Rect: geo.NewRect(1000, 1000), Seed: 3, EnsureConnected: true})
 	floods := map[packet.NodeID]*Flooding{}
+	fcfg := Counter1Config(5e-3)
 	nw.Install(func(n *node.Node) node.Protocol {
-		f := New(Counter1Config(5e-3))
+		f := New(&fcfg)
 		floods[n.ID] = f
 		return f
 	})
@@ -290,7 +291,7 @@ func TestConfigValidation(t *testing.T) {
 			t.Fatal("expected panic for missing policy")
 		}
 	}()
-	New(Config{})
+	New(&Config{})
 }
 
 func TestBackoffPriorityReachesMAC(t *testing.T) {
@@ -315,7 +316,7 @@ func TestLocationBasedFlooding(t *testing.T) {
 	floods := make([]*Flooding, 0, 3)
 	var order []packet.NodeID
 	nw.Install(func(n *node.Node) node.Protocol {
-		f := New(cfg)
+		f := New(&cfg)
 		id := n.ID
 		f.OnForward = func(*packet.Packet) { order = append(order, id) }
 		floods = append(floods, f)

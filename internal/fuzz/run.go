@@ -226,11 +226,11 @@ func installProtocol(nw *node.Network, sc Scenario) {
 	switch sc.Protocol {
 	case ProtoCounter1:
 		fcfg := flood.Counter1Config(lambda)
-		nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+		nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
 	case ProtoSSAF:
 		minDBm, maxDBm := ssafSpan(sc.Range)
 		fcfg := flood.SSAFConfig(lambda, minDBm, maxDBm)
-		nw.Install(func(n *node.Node) node.Protocol { return flood.New(fcfg) })
+		nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
 	case ProtoRouteless:
 		rcfg := routing.RoutelessConfig{Lambda: lambda}
 		nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })

@@ -1,0 +1,180 @@
+package geo
+
+// HierGrid is a two-level spatial index: the flat fine-cell Grid,
+// plus a coarse lattice of blocks (blockSpan×blockSpan fine cells each)
+// carrying occupancy counts and allowing whole-cell classification
+// against a query disk. It answers the same queries as Grid with the
+// same results in the same order — callers cannot tell the two apart —
+// but a radius query skips empty block runs without touching their
+// cells and bulk-appends cells that lie entirely inside the disk
+// without a distance test per point.
+//
+// The fine level is the existing Grid, so MoveTo, At, and Nearest are
+// the proven implementations; only WithinRadius is reimplemented on
+// top of the hierarchy. At million-node scale the index is what keeps
+// link-cache construction O(neighborhood): a query visits the O(r²)
+// cells the disk overlaps, never a function of N.
+type HierGrid struct {
+	fine *Grid
+
+	// Coarse level: blockSpan×blockSpan fine cells per block, row-major
+	// like the fine cells. counts[b] is the number of points currently
+	// binned in block b's cells.
+	bcols  int
+	brows  int
+	counts []int32
+}
+
+// blockSpan is the coarse aggregation factor: each block covers an
+// 8×8 run of fine cells, enough that one empty-block test replaces 64
+// cell probes in sparse regions while the counts array stays 1/64th
+// the size of the cell table.
+const blockSpan = 8
+
+// NewHierGrid builds the two-level index over pts covering rect with
+// the given fine cell size; semantics match NewGrid exactly.
+func NewHierGrid(rect Rect, cell float64, pts []Point) *HierGrid {
+	fine := NewGrid(rect, cell, pts)
+	h := &HierGrid{
+		fine:  fine,
+		bcols: (fine.cols + blockSpan - 1) / blockSpan,
+		brows: (fine.rows + blockSpan - 1) / blockSpan,
+	}
+	h.counts = make([]int32, h.bcols*h.brows)
+	for c, ids := range fine.cells {
+		h.counts[h.blockOfCell(c)] += int32(len(ids))
+	}
+	return h
+}
+
+// blockOfCell maps a fine cell index to its coarse block index.
+func (h *HierGrid) blockOfCell(c int) int {
+	cx, cy := c%h.fine.cols, c/h.fine.cols
+	return (cy/blockSpan)*h.bcols + cx/blockSpan
+}
+
+// Len returns the number of indexed points.
+func (h *HierGrid) Len() int { return h.fine.Len() }
+
+// At returns the position of point id.
+func (h *HierGrid) At(id int) Point { return h.fine.At(id) }
+
+// Cell returns the fine cell size.
+func (h *HierGrid) Cell() float64 { return h.fine.cell }
+
+// MoveTo updates the position of point id, keeping both levels in
+// sync.
+func (h *HierGrid) MoveTo(id int, p Point) {
+	old := int(h.fine.loc[id])
+	h.fine.MoveTo(id, p)
+	nc := int(h.fine.loc[id])
+	if nc == old {
+		return
+	}
+	h.counts[h.blockOfCell(old)]--
+	h.counts[h.blockOfCell(nc)]++
+}
+
+// Nearest returns the id of the indexed point closest to center, or
+// -1 when the grid is empty.
+func (h *HierGrid) Nearest(center Point) int { return h.fine.Nearest(center) }
+
+// WithinRadius appends to dst the ids of all points within radius of
+// center (excluding the id `exclude`; pass a negative value to exclude
+// nothing) and returns the extended slice. The result — including its
+// order — is identical to Grid.WithinRadius over the same points: fine
+// cells are visited row-major and points within a cell in insertion
+// order; the hierarchy only decides how much per-cell work each visit
+// costs.
+func (h *HierGrid) WithinRadius(dst []int, center Point, radius float64, exclude int) []int {
+	g := h.fine
+	r2 := radius * radius
+	minCX := int((center.X - radius - g.origin.X) / g.cell)
+	maxCX := int((center.X + radius - g.origin.X) / g.cell)
+	minCY := int((center.Y - radius - g.origin.Y) / g.cell)
+	maxCY := int((center.Y + radius - g.origin.Y) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		row := cy * g.cols
+		brow := (cy / blockSpan) * h.bcols
+		for cx := minCX; cx <= maxCX; {
+			// One coarse probe covers the rest of this block's columns:
+			// an empty block skips them all in a single compare.
+			blockEnd := (cx/blockSpan + 1) * blockSpan
+			if blockEnd > maxCX+1 {
+				blockEnd = maxCX + 1
+			}
+			if h.counts[brow+cx/blockSpan] == 0 {
+				cx = blockEnd
+				continue
+			}
+			for ; cx < blockEnd; cx++ {
+				ids := g.cells[row+cx]
+				if len(ids) == 0 {
+					continue
+				}
+				if h.cellInside(cx, cy, center, r2) {
+					// Every point of the cell is within the radius: append
+					// without per-point distance math. The exclude test
+					// still runs — exclusion is by id, not by geometry.
+					for _, id := range ids {
+						if int(id) != exclude {
+							dst = append(dst, int(id))
+						}
+					}
+					continue
+				}
+				for _, id := range ids {
+					if int(id) == exclude {
+						continue
+					}
+					if g.pts[id].Dist2(center) <= r2 {
+						dst = append(dst, int(id))
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// cellInside reports whether fine cell (cx, cy) lies entirely within
+// the disk of squared radius r2 around center: its farthest corner is
+// inside. Clamped boundary cells can hold points outside their nominal
+// rectangle, so cells on the lattice border never classify as inside.
+// The box is inflated by a slack far above coordinate ulp scale before
+// the corner test, so a point that floor-binning placed a rounding
+// error outside its nominal cell can never be bulk-appended when the
+// per-point distance test would have rejected it — misclassifying
+// toward "not inside" only costs the distance test, never correctness.
+func (h *HierGrid) cellInside(cx, cy int, center Point, r2 float64) bool {
+	g := h.fine
+	if cx == 0 || cy == 0 || cx == g.cols-1 || cy == g.rows-1 {
+		return false
+	}
+	slack := g.cell * 1e-9
+	x0 := g.origin.X + float64(cx)*g.cell
+	y0 := g.origin.Y + float64(cy)*g.cell
+	dx := center.X - x0
+	if o := x0 + g.cell - center.X; o > dx {
+		dx = o
+	}
+	dy := center.Y - y0
+	if o := y0 + g.cell - center.Y; o > dy {
+		dy = o
+	}
+	dx += slack
+	dy += slack
+	return dx*dx+dy*dy <= r2
+}

@@ -46,6 +46,43 @@ func NewTiling(rect Rect, tiles int) Tiling {
 	}
 }
 
+// NewTilingXY splits rect into an explicit cols×rows lattice.
+func NewTilingXY(rect Rect, cols, rows int) Tiling {
+	if cols < 1 || rows < 1 {
+		panic("geo: tiling needs at least one column and row")
+	}
+	return Tiling{
+		rect:  rect,
+		cols:  cols,
+		rows:  rows,
+		tileW: rect.Width() / float64(cols),
+		tileH: rect.Height() / float64(rows),
+	}
+}
+
+// AutoTiling chooses a tile lattice for rect from the physical
+// interaction range: each tile side is at least minSide (callers pass
+// twice the channel's interference cutoff, so a tile's interior
+// dwarfs its boundary band and the conservative PDES window stays
+// wide), and the lattice is as fine as that allows. A rect smaller
+// than minSide in a dimension degenerates to one tile along it; the
+// 1M-node Figure-1-density arena (100 km side, 550 m cutoff) yields
+// 90×90 tiles.
+func AutoTiling(rect Rect, minSide float64) Tiling {
+	if minSide <= 0 {
+		panic("geo: auto tiling needs a positive minimum tile side")
+	}
+	cols := int(rect.Width() / minSide)
+	rows := int(rect.Height() / minSide)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return NewTilingXY(rect, cols, rows)
+}
+
 // Tiles returns the total tile count.
 func (t Tiling) Tiles() int { return t.cols * t.rows }
 

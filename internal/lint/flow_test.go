@@ -312,8 +312,8 @@ func TestModuleCorpus(t *testing.T) {
 	for _, s := range res.Stale {
 		t.Errorf("stale directive: %s", s)
 	}
-	if res.Suppressed != 13 {
-		t.Errorf("suppressed findings = %d, want 13; if a suppression was added or removed deliberately, update this pin", res.Suppressed)
+	if res.Suppressed != 15 {
+		t.Errorf("suppressed findings = %d, want 15; if a suppression was added or removed deliberately, update this pin", res.Suppressed)
 	}
 
 	rep := BuildShardReport(prog)
@@ -346,5 +346,77 @@ func TestModuleCorpus(t *testing.T) {
 	// Same gate through the method cmd/simlint -audit calls.
 	if v := rep.Violations(); len(v) != 0 {
 		t.Errorf("ShardReport.Violations() = %v, want none", v)
+	}
+
+	// The tile-state section must resolve every curated field against
+	// the real module — a "stale" row means the list rotted — and must
+	// cover the SoA arrays the mega-scale refactor hoisted onto the
+	// channel.
+	tileRows := map[string]ShardTileField{}
+	for _, f := range rep.TileState {
+		tileRows[f.Type+"."+f.Field] = f
+		if f.Class != "per-tile" {
+			t.Errorf("tile-state %s.%s class = %q, want per-tile", f.Type, f.Field, f.Class)
+		}
+	}
+	for _, want := range []string{
+		"internal/phy.(Channel).states",
+		"internal/phy.(Channel).txPow",
+		"internal/phy.(Channel).energies",
+		"internal/phy.(Channel).links",
+		"internal/phy.(Channel).linkValid",
+		"internal/phy.(tileCtx).outbox",
+		"internal/phy.(tileCtx).cached",
+	} {
+		f, ok := tileRows[want]
+		if !ok {
+			t.Errorf("tile-state section is missing %s", want)
+			continue
+		}
+		if f.FieldType == "" || f.Rationale == "" || f.Pos == "" {
+			t.Errorf("tile-state %s lacks fieldType/rationale/pos: %+v", want, f)
+		}
+	}
+}
+
+// TestTileStateSection pins the curated tile-state classifier against
+// the flowmod fixture: a field that exists resolves to "per-tile" with
+// its type and position, a curated name the struct no longer has
+// becomes a "stale" row that Violations() turns into a gate failure,
+// and entries for packages outside the run are skipped silently.
+func TestTileStateSection(t *testing.T) {
+	prog := flowmodProgram(t)
+	old := tileStateFields
+	defer func() { tileStateFields = old }()
+	tileStateFields = []tileStateSpec{
+		{Type: "internal/sim.(Kernel)", Fields: []string{"queue", "vanished"}, Rationale: "fixture"},
+		{Type: "internal/phy.(Channel)", Fields: []string{"states"}}, // package not loaded: skipped
+		{Type: "not-a-pattern", Fields: []string{"x"}},               // malformed: skipped
+	}
+
+	rep := BuildShardReport(prog)
+	if len(rep.TileState) != 2 {
+		t.Fatalf("tileState rows = %d, want 2 (unloaded package and malformed pattern skipped): %+v",
+			len(rep.TileState), rep.TileState)
+	}
+	live, stale := rep.TileState[0], rep.TileState[1]
+	if live.Field != "queue" || live.Class != "per-tile" {
+		t.Errorf("row 0 = %+v, want queue classified per-tile", live)
+	}
+	if live.FieldType != "[]func()" || live.Rationale != "fixture" || live.Pos == "" {
+		t.Errorf("queue row lacks resolved metadata: %+v", live)
+	}
+	if stale.Field != "vanished" || stale.Class != "stale" {
+		t.Errorf("row 1 = %+v, want vanished classified stale", stale)
+	}
+
+	found := false
+	for _, v := range rep.Violations() {
+		if strings.Contains(v, "vanished") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Violations() = %v, want a stale-entry line for vanished", rep.Violations())
 	}
 }

@@ -97,18 +97,18 @@ type Stats struct {
 
 // macCounters is the live counter storage behind Stats.
 type macCounters struct {
-	enqueued      metrics.Counter
-	droppedFull   metrics.Counter
-	txFrames      metrics.Counter
-	txAcks        metrics.Counter
-	retries       metrics.Counter
-	unicastFailed metrics.Counter
-	delivered     metrics.Counter
-	acksReceived  metrics.Counter
-	droppedPaused metrics.Counter
-	dequeued      metrics.Counter
-	dupRx         metrics.Counter
-	completed     metrics.Counter
+	enqueued      metrics.Counter32
+	droppedFull   metrics.Counter32
+	txFrames      metrics.Counter32
+	txAcks        metrics.Counter32
+	retries       metrics.Counter32
+	unicastFailed metrics.Counter32
+	delivered     metrics.Counter32
+	acksReceived  metrics.Counter32
+	droppedPaused metrics.Counter32
+	dequeued      metrics.Counter32
+	dupRx         metrics.Counter32
+	completed     metrics.Counter32
 }
 
 type macState uint8
@@ -125,20 +125,26 @@ const (
 
 // MAC is one node's medium-access instance.
 type MAC struct {
-	cfg     Config
+	// cfg is shared by every MAC in a network (the builder passes one
+	// pointer): an inline copy is 64 bytes of identical timing numbers
+	// per node, real weight at mega scale. Never written after New.
+	cfg     *Config
 	kernel  *sim.Kernel
 	radio   *phy.Radio
 	rng     *rand.Rand
 	handler Handler
 
-	queue   *prioQueue
+	// queue and access are embedded by value (not pointers): two fewer
+	// heap objects per node. Both capture m's address via methods, so a
+	// MAC must never be copied after New.
+	queue   prioQueue
 	current *entry
 	state   macState
 
 	slotsLeft int
 	cw        int
 	retries   int
-	access    *sim.Timer // drives DIFS, backoff slots, and ACK timeout
+	access    sim.Timer // drives DIFS, backoff slots, and ACK timeout
 	pendingTx *packet.Packet
 
 	// ackRef is the UID of the unicast frame awaiting acknowledgement.
@@ -158,20 +164,29 @@ type MAC struct {
 }
 
 // New wires a MAC onto a radio. It installs itself as the radio's
-// listener.
-func New(k *sim.Kernel, radio *phy.Radio, cfg Config, rng *rand.Rand) *MAC {
-	m := &MAC{
+// listener. cfg is retained (not copied) so a network can share one
+// Config across all its MACs; callers must not mutate it afterwards.
+func New(k *sim.Kernel, radio *phy.Radio, cfg *Config, rng *rand.Rand) *MAC {
+	m := &MAC{}
+	Init(m, k, radio, cfg, rng)
+	return m
+}
+
+// Init initializes m in place — the arena alternative to New for
+// mega-scale populations that lay their MACs out in one contiguous
+// slice. The MAC captures its own address (queue, access timer, radio
+// listener), so it must never be copied after Init.
+func Init(m *MAC, k *sim.Kernel, radio *phy.Radio, cfg *Config, rng *rand.Rand) {
+	*m = MAC{
 		cfg:    cfg,
 		kernel: k,
 		radio:  radio,
 		rng:    rng,
-		queue:  newPrioQueue(cfg.QueueCap),
 		cw:     cfg.MinCW,
-		rxSeen: make(map[uint64]struct{}),
 	}
-	m.access = sim.NewTimer(k, m.onAccessTimer)
+	m.queue.init(cfg.QueueCap)
+	sim.InitTimer(&m.access, k, m.onAccessTimer)
 	radio.SetListener(m)
-	return m
 }
 
 // SetHandler installs the network layer.
@@ -205,22 +220,62 @@ func (m *MAC) Stats() Stats {
 	}
 }
 
+// RegisterAggregate registers the network-wide mac.* series as
+// aggregate func-counters summing over every MAC in macs, in the exact
+// order RegisterMetrics registers them per MAC. The registry sums
+// same-name sources at snapshot time, so the aggregate exposes
+// bit-identical snapshots to N per-MAC registrations while costing
+// O(1) registry entries instead of O(N).
+func RegisterAggregate(reg *metrics.Registry, macs []*MAC) {
+	sum := func(pick func(*macCounters) *metrics.Counter32) func() uint64 {
+		return func() uint64 {
+			var s uint64
+			for _, m := range macs {
+				s += pick(&m.stats).Value()
+			}
+			return s
+		}
+	}
+	reg.Func("mac.enqueued", sum(func(s *macCounters) *metrics.Counter32 { return &s.enqueued }))
+	reg.Func("mac.dropped_full", sum(func(s *macCounters) *metrics.Counter32 { return &s.droppedFull }))
+	reg.Func("mac.tx_frames", sum(func(s *macCounters) *metrics.Counter32 { return &s.txFrames }))
+	reg.Func("mac.tx_acks", sum(func(s *macCounters) *metrics.Counter32 { return &s.txAcks }))
+	reg.Func("mac.retries", sum(func(s *macCounters) *metrics.Counter32 { return &s.retries }))
+	reg.Func("mac.unicast_failed", sum(func(s *macCounters) *metrics.Counter32 { return &s.unicastFailed }))
+	reg.Func("mac.delivered", sum(func(s *macCounters) *metrics.Counter32 { return &s.delivered }))
+	reg.Func("mac.acks_received", sum(func(s *macCounters) *metrics.Counter32 { return &s.acksReceived }))
+	reg.Func("mac.dropped_paused", sum(func(s *macCounters) *metrics.Counter32 { return &s.droppedPaused }))
+	reg.Func("mac.dequeued", sum(func(s *macCounters) *metrics.Counter32 { return &s.dequeued }))
+	reg.Func("mac.dup_rx", sum(func(s *macCounters) *metrics.Counter32 { return &s.dupRx }))
+	reg.Func("mac.completed", sum(func(s *macCounters) *metrics.Counter32 { return &s.completed }))
+	reg.Func("mac.backlog", func() uint64 {
+		var n uint64
+		for _, m := range macs {
+			n += uint64(m.queue.len())
+			if m.current != nil {
+				n++
+			}
+		}
+		return n
+	})
+}
+
 // RegisterMetrics registers the MAC counters plus the live backlog (the
 // in-flight term of the mac-queue conservation law: frames waiting in
 // the priority queue plus the one under contention).
 func (m *MAC) RegisterMetrics(reg *metrics.Registry) {
-	reg.Observe("mac.enqueued", &m.stats.enqueued)
-	reg.Observe("mac.dropped_full", &m.stats.droppedFull)
-	reg.Observe("mac.tx_frames", &m.stats.txFrames)
-	reg.Observe("mac.tx_acks", &m.stats.txAcks)
-	reg.Observe("mac.retries", &m.stats.retries)
-	reg.Observe("mac.unicast_failed", &m.stats.unicastFailed)
-	reg.Observe("mac.delivered", &m.stats.delivered)
-	reg.Observe("mac.acks_received", &m.stats.acksReceived)
-	reg.Observe("mac.dropped_paused", &m.stats.droppedPaused)
-	reg.Observe("mac.dequeued", &m.stats.dequeued)
-	reg.Observe("mac.dup_rx", &m.stats.dupRx)
-	reg.Observe("mac.completed", &m.stats.completed)
+	reg.Observe32("mac.enqueued", &m.stats.enqueued)
+	reg.Observe32("mac.dropped_full", &m.stats.droppedFull)
+	reg.Observe32("mac.tx_frames", &m.stats.txFrames)
+	reg.Observe32("mac.tx_acks", &m.stats.txAcks)
+	reg.Observe32("mac.retries", &m.stats.retries)
+	reg.Observe32("mac.unicast_failed", &m.stats.unicastFailed)
+	reg.Observe32("mac.delivered", &m.stats.delivered)
+	reg.Observe32("mac.acks_received", &m.stats.acksReceived)
+	reg.Observe32("mac.dropped_paused", &m.stats.droppedPaused)
+	reg.Observe32("mac.dequeued", &m.stats.dequeued)
+	reg.Observe32("mac.dup_rx", &m.stats.dupRx)
+	reg.Observe32("mac.completed", &m.stats.completed)
 	reg.Func("mac.backlog", func() uint64 {
 		n := uint64(m.queue.len())
 		if m.current != nil {
@@ -456,10 +511,15 @@ func (m *MAC) OnReceive(pkt *packet.Packet, rssiDBm float64) {
 }
 
 // seenUID records a delivered unicast frame id, bounding memory with a
-// FIFO window.
+// FIFO window. The map is lazily allocated: only unicast receivers ever
+// reach this path, so a broadcast-only node (any flooding run) carries
+// no dedup map at all.
 func (m *MAC) seenUID(uid uint64) bool {
 	if _, ok := m.rxSeen[uid]; ok {
 		return true
+	}
+	if m.rxSeen == nil {
+		m.rxSeen = make(map[uint64]struct{})
 	}
 	const window = 256
 	if len(m.rxSeenFIFO) >= window {

@@ -35,8 +35,9 @@ func rig(t *testing.T, positions []geo.Point) (*sim.Kernel, *phy.Channel, []*MAC
 	ch := phy.NewChannel(k, geo.NewRect(3000, 3000), positions, params, phy.ChannelConfig{Model: model})
 	macs := make([]*MAC, len(positions))
 	recs := make([]*netRecorder, len(positions))
+	cfg := DefaultConfig()
 	for i := range positions {
-		macs[i] = New(k, ch.Radio(i), DefaultConfig(), rng.ForNode(3, rng.StreamMAC, i))
+		macs[i] = New(k, ch.Radio(i), &cfg, rng.ForNode(3, rng.StreamMAC, i))
 		recs[i] = &netRecorder{}
 		macs[i].SetHandler(recs[i])
 	}
@@ -317,8 +318,9 @@ func TestHiddenTerminalCollides(t *testing.T) {
 	ch := phy.NewChannel(k, geo.NewRect(3000, 3000), positions, params, phy.ChannelConfig{Model: model})
 	macs := make([]*MAC, len(positions))
 	recs := make([]*netRecorder, len(positions))
+	cfg := DefaultConfig()
 	for i := range positions {
-		macs[i] = New(k, ch.Radio(i), DefaultConfig(), rng.ForNode(3, rng.StreamMAC, i))
+		macs[i] = New(k, ch.Radio(i), &cfg, rng.ForNode(3, rng.StreamMAC, i))
 		recs[i] = &netRecorder{}
 		macs[i].SetHandler(recs[i])
 	}

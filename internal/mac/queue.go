@@ -25,10 +25,17 @@ type prioQueue struct {
 }
 
 func newPrioQueue(capacity int) *prioQueue {
+	q := &prioQueue{}
+	q.init(capacity)
+	return q
+}
+
+// init prepares an embedded queue in place (see MAC.queue).
+func (q *prioQueue) init(capacity int) {
 	if capacity <= 0 {
 		panic("mac: queue capacity must be positive")
 	}
-	return &prioQueue{cap: capacity}
+	*q = prioQueue{cap: capacity}
 }
 
 // push enqueues a frame; it reports false (and drops) when full.

@@ -49,6 +49,24 @@ func (c *Counter) Add(n uint64) { c.v += n }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
+// Counter32 is a 4-byte counter for dense per-entity stat blocks
+// (per-radio, per-MAC, per-flooder) where a million instances exist and
+// every field is paid N times. Value widens to uint64, and the registry
+// sums sources in uint64, so aggregate series stay exact as long as
+// each individual entity's count stays below 2^32 — per-node event
+// counts in any feasible run are orders of magnitude smaller. Network-
+// global series should keep the 8-byte Counter.
+type Counter32 struct{ v uint32 }
+
+// Inc adds one.
+func (c *Counter32) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter32) Add(n uint32) { c.v += n }
+
+// Value returns the current count, widened.
+func (c *Counter32) Value() uint64 { return uint64(c.v) }
+
 // Gauge is a point-in-time float value. The zero value is ready to use.
 type Gauge struct{ v float64 }
 
@@ -112,19 +130,23 @@ func (k Kind) String() string {
 // series, which is what the experiments report. Registration order of
 // the FIRST appearance fixes the entry's position forever.
 type entry struct {
-	name     string
-	kind     Kind
-	counters []*Counter
-	cfuncs   []func() uint64
-	gauges   []*Gauge
-	gfuncs   []func() float64
-	hists    []*Histogram
+	name       string
+	kind       Kind
+	counters   []*Counter
+	counters32 []*Counter32
+	cfuncs     []func() uint64
+	gauges     []*Gauge
+	gfuncs     []func() float64
+	hists      []*Histogram
 }
 
 func (e *entry) total() uint64 {
 	var t uint64
 	for _, c := range e.counters {
 		t += c.v
+	}
+	for _, c := range e.counters32 {
+		t += uint64(c.v)
 	}
 	for _, f := range e.cfuncs {
 		t += f()
@@ -215,6 +237,13 @@ func (r *Registry) Counter(name string) *Counter {
 func (r *Registry) Observe(name string, c *Counter) {
 	e := r.lookup(name, KindCounter)
 	e.counters = append(e.counters, c)
+}
+
+// Observe32 registers an existing 4-byte counter under name; it is
+// summed with any other sources of the same name, widened to uint64.
+func (r *Registry) Observe32(name string, c *Counter32) {
+	e := r.lookup(name, KindCounter)
+	e.counters32 = append(e.counters32, c)
 }
 
 // Func registers an integer-valued function under name; it is summed

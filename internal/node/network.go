@@ -51,9 +51,31 @@ type Config struct {
 	// tiles, each with its own kernel advanced by a parallel PDES
 	// worker between epoch barriers (see internal/pdes). Results are
 	// identical to the sequential network; requires no fading and no
-	// mobility. 0 or 1 builds the classic sequential network.
+	// mobility. 0 or 1 builds the classic sequential network. The
+	// sentinel AutoTiles sizes the tiling from the arena instead: tile
+	// sides at least twice the channel's interference cutoff (the
+	// minimum sound lookahead geometry), as many tiles as fit.
 	Tiles int
+	// TileWorkers bounds the PDES worker pool on a tiled run; 0 means
+	// GOMAXPROCS. Results are identical for any value.
+	TileWorkers int
+	// LinkCacheCap, when positive, bounds how many per-node link caches
+	// each tile keeps live at once (FIFO eviction, bit-identical
+	// rebuilds). Zero keeps every cache — fine up to ~100k nodes;
+	// mega-scale runs set a cap to keep link memory O(active).
+	LinkCacheCap int
+	// CompactRNG switches the per-node network and MAC random streams
+	// to 8-byte SplitMix64 sources instead of the stdlib's ~4.9 KB lag
+	// tables — the difference between ~10 KB and ~200 B of RNG state
+	// per node. The draw sequences differ from the stdlib source, so
+	// this is opt-in: results stay deterministic and seed-stable, but
+	// are not comparable to a non-compact run of the same seed.
+	CompactRNG bool
 }
+
+// AutoTiles is the Config.Tiles sentinel that sizes the PDES tiling
+// automatically from the arena and the channel's interference cutoff.
+const AutoTiles = -1
 
 // Runtime is the reusable allocation state one sweep worker owns: the
 // kernel event free list, the phy signal/delivery pools, and the
@@ -79,6 +101,19 @@ func NewRuntime() *Runtime {
 		Events: sim.NewEventPool(),
 		Phy:    phy.NewPools(),
 		Ranges: propagation.NewSharedRangeCache(),
+	}
+}
+
+// Reset shrinks the runtime's event free lists to the watermark of the
+// run(s) since the previous Reset (see sim.EventPool.Reset). The sweep
+// engine calls it between cells so a worker that just served the
+// sweep's largest cell does not pin that cell's memory for every
+// smaller cell that follows. Must not be called while any network
+// built on this runtime is still running.
+func (rt *Runtime) Reset() {
+	rt.Events.Reset()
+	for _, p := range rt.tileEvents {
+		p.Reset()
 	}
 }
 
@@ -108,6 +143,8 @@ type Network struct {
 
 	// TileKernels holds one kernel per PDES tile; nil when sequential.
 	TileKernels []*sim.Kernel
+	// tileWorkers bounds the PDES pool (0 = GOMAXPROCS).
+	tileWorkers int
 
 	// minArm and crossDelay parameterize the conservative PDES window
 	// (see internal/pdes): the MAC's minimum arming interval and, per
@@ -164,7 +201,20 @@ func TryNew(cfg Config) (*Network, error) {
 	if rt == nil {
 		rt = NewRuntime()
 	}
+	params := phy.DefaultParams(cfg.Model, cfg.Range)
 	tiles := cfg.Tiles
+	var tiling geo.Tiling
+	haveTiling := false
+	if tiles == AutoTiles {
+		// Tile sides of at least twice the interference cutoff keep the
+		// conservative-window geometry sound (a frame can only reach
+		// adjacent tiles) while admitting as many tiles as the arena
+		// supports; paper-scale arenas degenerate to one tile and run
+		// sequentially.
+		tiling = geo.AutoTiling(cfg.Rect, 2*phy.CutoffFor(cfg.Model, params, 0, cfg.Rect))
+		tiles = tiling.Tiles()
+		haveTiling = true
+	}
 	if tiles < 1 {
 		tiles = 1
 	}
@@ -175,7 +225,6 @@ func TryNew(cfg Config) (*Network, error) {
 		}
 	}
 	kernel := sim.NewKernelPooled(rng.Derive(cfg.Seed, 0xC0FFEE), rt.Events)
-	params := phy.DefaultParams(cfg.Model, cfg.Range)
 
 	positions := cfg.Positions
 	if positions == nil {
@@ -210,13 +259,16 @@ func TryNew(cfg Config) (*Network, error) {
 		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
 		Pools:        rt.Phy,
 		Ranges:       rt.Ranges,
+		LinkCacheCap: cfg.LinkCacheCap,
 	}
 	var tileKernels []*sim.Kernel
 	var tileOf []int32
 	if tiles > 1 {
 		// Tile assignment is pure arithmetic on the final positions, so
 		// the same seed yields the same node→tile map at any tile count.
-		tiling := geo.NewTiling(cfg.Rect, tiles)
+		if !haveTiling {
+			tiling = geo.NewTiling(cfg.Rect, tiles)
+		}
 		tileOf = make([]int32, len(positions))
 		for i, p := range positions {
 			tileOf[i] = int32(tiling.TileOf(p))
@@ -236,9 +288,20 @@ func TryNew(cfg Config) (*Network, error) {
 	ch := phy.NewChannel(kernel, cfg.Rect, positions, params, chCfg)
 
 	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed,
-		TileKernels: tileKernels, Metrics: metrics.NewRegistry()}
+		TileKernels: tileKernels, tileWorkers: cfg.TileWorkers,
+		Metrics: metrics.NewRegistry()}
 	ch.RegisterMetrics(nw.Metrics)
 	nw.Nodes = make([]*Node, len(positions))
+	// One contiguous Node arena instead of N heap objects; Nodes keeps
+	// its []*Node shape (protocols hold *Node), the pointers just all
+	// land in one allocation.
+	arena := make([]Node, len(positions))
+	macArena := make([]mac.MAC, len(positions))
+	macs := make([]*mac.MAC, len(positions))
+	forNode := rng.ForNode
+	if cfg.CompactRNG {
+		forNode = rng.ForNodeCompact
+	}
 	for i := range positions {
 		nk := kernel
 		tile := 0
@@ -246,21 +309,29 @@ func TryNew(cfg Config) (*Network, error) {
 			tile = int(tileOf[i])
 			nk = tileKernels[tile]
 		}
-		n := &Node{
+		n := &arena[i]
+		*n = Node{
 			ID:     packet.NodeID(i),
 			Pos:    positions[i],
 			Kernel: nk,
 			Ctl:    kernel,
 			Tile:   tile,
 			Radio:  ch.Radio(i),
-			Rng:    rng.ForNode(cfg.Seed, rng.StreamNet, i),
+			Rng:    forNode(cfg.Seed, rng.StreamNet, i),
 		}
-		n.MAC = mac.New(nk, n.Radio, macCfg, rng.ForNode(cfg.Seed, rng.StreamMAC, i))
+		n.MAC = &macArena[i]
+		mac.Init(n.MAC, nk, n.Radio, &macCfg, forNode(cfg.Seed, rng.StreamMAC, i))
 		n.MAC.SetHandler(macAdapter{n})
-		n.Radio.RegisterMetrics(nw.Metrics)
-		n.MAC.RegisterMetrics(nw.Metrics)
+		macs[i] = n.MAC
 		nw.Nodes[i] = n
 	}
+	// Aggregate phy.*/mac.* registration: one summing func-counter per
+	// series instead of 25 registry entries per node. Series names and
+	// first-registration order match the historical per-node loop, and
+	// the registry sums same-name sources either way, so snapshots are
+	// bit-identical.
+	ch.RegisterRadioMetrics(nw.Metrics)
+	mac.RegisterAggregate(nw.Metrics, macs)
 	if tiles > 1 {
 		// Conservative-window parameters: every transmission is armed at
 		// least MinArm ahead (MAC timer discipline), and a signal leaving
@@ -361,6 +432,26 @@ func (nw *Network) Install(factory func(n *Node) Protocol) {
 	}
 }
 
+// InstallAggregated installs like Install but skips the per-node
+// metrics.Source registration; register (if non-nil) then registers one
+// aggregate source for the whole population — e.g. a closure over
+// flood.RegisterAggregate. The registry sums same-name sources at
+// snapshot time, so an aggregate that mirrors the per-node series names
+// and order yields bit-identical snapshots while keeping the registry
+// O(series) instead of O(N) — the difference between 6 and 6,000,000
+// entries at mega scale.
+func (nw *Network) InstallAggregated(factory func(n *Node) Protocol, register func(reg *metrics.Registry)) {
+	for _, n := range nw.Nodes {
+		n.Net = factory(n)
+	}
+	if register != nil {
+		register(nw.Metrics)
+	}
+	for _, n := range nw.Nodes {
+		n.Net.Start(n)
+	}
+}
+
 // Run executes the simulation until time t: sequentially on the single
 // kernel, or — when the network was built with Config.Tiles > 1 — as a
 // conservative tiled PDES run whose results are identical to the
@@ -376,6 +467,7 @@ func (nw *Network) Run(t sim.Time) {
 		MinArm:     nw.minArm,
 		CrossDelay: nw.crossDelay,
 		Exchange:   nw.Channel.ExchangeCross,
+		Workers:    nw.tileWorkers,
 	}, t)
 }
 

@@ -159,12 +159,24 @@ type DedupCache struct {
 	cap   int
 }
 
-// NewDedupCache returns a cache holding at most capacity keys.
+// NewDedupCache returns a cache holding at most capacity keys. The
+// backing map is allocated on first use: a node no flood ever reaches
+// keeps an empty cache, which at mega scale keeps untouched arena
+// regions cheap.
 func NewDedupCache(capacity int) *DedupCache {
+	c := &DedupCache{}
+	c.Init(capacity)
+	return c
+}
+
+// Init initializes c in place with the given capacity — the
+// value-embedding alternative to NewDedupCache for owners that hold the
+// cache inline (one fewer heap object per node at mega scale).
+func (c *DedupCache) Init(capacity int) {
 	if capacity <= 0 {
 		panic("packet: dedup capacity must be positive")
 	}
-	return &DedupCache{seen: make(map[FlowKey]struct{}), cap: capacity}
+	*c = DedupCache{cap: capacity}
 }
 
 // Seen reports whether k was recorded and records it. The first call
@@ -172,6 +184,9 @@ func NewDedupCache(capacity int) *DedupCache {
 func (c *DedupCache) Seen(k FlowKey) bool {
 	if _, ok := c.seen[k]; ok {
 		return true
+	}
+	if c.seen == nil {
+		c.seen = make(map[FlowKey]struct{})
 	}
 	if len(c.order) >= c.cap {
 		old := c.order[0]

@@ -3,16 +3,28 @@
 // kernel.
 //
 // The arena is partitioned into geo tiles (geo.Tiling), each with its
-// own event kernel advanced by a dedicated worker goroutine. Workers
-// run lockstep windows between epoch barriers: the coordinator computes
-// a barrier time B no tile can causally affect another tile before,
-// releases every worker to advance its kernel to B, then — with all
-// workers parked — drains the boundary-crossing deliveries the window
-// produced (Config.Exchange) and runs the global control-lane kernel to
-// B. Exchanged deliveries are applied in (source tile, transmit order),
-// so the schedule each kernel sees is independent of how the workers
-// interleaved, and a tiled run reproduces the sequential journal byte
-// for byte.
+// own event kernel. A bounded pool of worker goroutines (Workers, not
+// one per tile) advances kernels in lockstep windows between epoch
+// barriers: the coordinator computes a barrier time B no tile can
+// causally affect another tile before, dispatches only the *active*
+// tiles — those with an event strictly before B — to the pool, then —
+// with all workers parked — drains the boundary-crossing deliveries the
+// window produced (Config.Exchange) and runs the global control-lane
+// kernel to B. Exchanged deliveries are applied in (source tile,
+// transmit order), so the schedule each kernel sees is independent of
+// how the workers interleaved, and a tiled run reproduces the
+// sequential journal byte for byte at any tile count and any worker
+// count.
+//
+// Idle tiles cost one PeekTime comparison per barrier, not a goroutine
+// wakeup: their clocks advance lazily and are synchronized to the
+// barrier only when the control lane is about to run events (global
+// handlers call into radios, which timestamp energy transitions and arm
+// relative timers off their tile kernel's clock — the control-lane
+// contract is that every tile clock equals the global clock whenever a
+// global handler runs). A tile that receives a cross-tile delivery
+// becomes active by construction: the delivery lands strictly after B,
+// so the next barrier scan sees it as pending work.
 //
 // The window bound is structural rather than geometric-only: every
 // radio transmission happens inside an event armed at least MinArm in
@@ -31,6 +43,8 @@ package pdes
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"routeless/internal/sim"
 )
@@ -54,10 +68,15 @@ type Config struct {
 	// the last window onto the receiving tiles' kernels, returning how
 	// many it moved. Called only while every worker is parked.
 	Exchange func() int
+	// Workers bounds the worker pool; 0 means GOMAXPROCS. The pool is
+	// clamped to the tile count. Results are identical for any value —
+	// workers only decide which goroutine advances an active tile, never
+	// what it observes.
+	Workers int
 }
 
-// Run advances the tiled simulation to time until. It spawns one worker
-// per tile for the duration of the call and joins them before
+// Run advances the tiled simulation to time until. It spawns a bounded
+// worker pool for the duration of the call and joins it before
 // returning; a panic on any worker is re-raised on the caller.
 func Run(cfg Config, until sim.Time) {
 	n := len(cfg.Tiles)
@@ -68,36 +87,68 @@ func Run(cfg Config, until sim.Time) {
 		panic(fmt.Sprintf("pdes: Run(%v) before now %v", until, cfg.Global.Now()))
 	}
 
-	release := make([]chan sim.Time, n)
-	acks := make(chan any, n)
-	for i := range release {
-		release[i] = make(chan sim.Time)
-		go worker(cfg.Tiles[i], release[i], acks)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	park := func() {
-		for i := range release {
-			close(release[i])
-		}
-		for range release {
-			<-acks
-		}
+	if workers > n {
+		workers = n
 	}
 
-	// runWindow releases every worker to advance its tile to b and
-	// waits for all of them to park again, re-raising worker panics.
+	// cur is the active window's barrier. The coordinator writes it only
+	// while every worker is parked; the work-channel send/receive pair
+	// orders that write before each worker's read.
+	var cur sim.Time
+	work := make(chan int)
+	acks := make(chan any, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				acks <- advance(cfg.Tiles[i], cur)
+			}
+		}()
+	}
+	defer func() {
+		close(work)
+		wg.Wait()
+	}()
+
+	// runWindow dispatches every tile holding an event strictly before b
+	// — the active worklist — to the pool and waits for all of them to
+	// finish, re-raising worker panics. Tiles with nothing to run are
+	// not woken; their clocks catch up in syncClocks when it matters.
 	runWindow := func(b sim.Time) {
-		for _, ch := range release {
-			ch <- b
+		cur = b
+		sent := 0
+		for i, k := range cfg.Tiles {
+			if k.PeekTime() < b {
+				work <- i
+				sent++
+			}
 		}
 		var failure any
-		for range release {
+		for j := 0; j < sent; j++ {
 			if r := <-acks; r != nil {
 				failure = r
 			}
 		}
 		if failure != nil {
-			park()
 			panic(failure)
+		}
+	}
+
+	// syncClocks advances every lagging tile clock to b. Called before
+	// the global kernel runs events (control-lane contract) and once at
+	// the end of the run: lazily-idle tiles have no events before b, so
+	// this is a pure clock assignment per tile.
+	syncClocks := func(b sim.Time) {
+		for _, k := range cfg.Tiles {
+			if k.Now() < b {
+				k.RunUntilBarrier(b)
+			}
 		}
 	}
 
@@ -110,6 +161,9 @@ func Run(cfg Config, until sim.Time) {
 		if b > g {
 			runWindow(b)
 			cfg.Exchange()
+			if cfg.Global.PeekTime() <= b {
+				syncClocks(b)
+			}
 			cfg.Global.RunUntil(b)
 			g = b
 			continue
@@ -119,6 +173,7 @@ func Run(cfg Config, until sim.Time) {
 		// gap sequentially — workers are parked, so the coordinator owns
 		// every kernel.
 		if cfg.Global.PeekTime() <= g {
+			syncClocks(g)
 			cfg.Global.RunUntil(g)
 			continue
 		}
@@ -127,28 +182,32 @@ func Run(cfg Config, until sim.Time) {
 	}
 
 	// Every remaining bound is at or past the horizon: no tile can
-	// affect another before until, so run each straight there, then
-	// drain exchanges and events landing exactly at the horizon
-	// (RunUntil is inclusive, matching the sequential kernel).
+	// affect another before until, so run each active tile straight
+	// there, then drain exchanges and events landing exactly at the
+	// horizon (RunUntil is inclusive, matching the sequential kernel).
+	// Tile clocks are synchronized first so horizon-time control-lane
+	// events observe them at the global clock, and once more at the end
+	// so the run's postcondition — every clock at until — holds for
+	// whoever samples state afterwards.
 	runWindow(until)
+	syncClocks(until)
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
 			panic("pdes: final drain did not quiesce")
 		}
 		moved := cfg.Exchange()
 		cfg.Global.RunUntil(until)
-		work := false
+		ran := false
 		for _, k := range cfg.Tiles {
 			if k.PeekTime() <= until {
 				k.RunUntil(until)
-				work = true
+				ran = true
 			}
 		}
-		if moved == 0 && !work && cfg.Global.PeekTime() > until {
+		if moved == 0 && !ran && cfg.Global.PeekTime() > until {
 			break
 		}
 	}
-	park()
 }
 
 // barrier computes the next epoch barrier: the earliest time any tile
@@ -188,17 +247,7 @@ func stepMinTile(tiles []*sim.Kernel) {
 	tiles[best].Step()
 }
 
-// worker advances one tile kernel to each barrier it is released to,
-// acknowledging with nil on success or the recovered panic value. A
-// closed release channel ends the worker.
-func worker(k *sim.Kernel, release <-chan sim.Time, acks chan<- any) {
-	for b := range release {
-		acks <- advance(k, b)
-	}
-	acks <- nil
-}
-
-// advance runs one window, converting a panic into a value the
+// advance runs one tile's window, converting a panic into a value the
 // coordinator can re-raise with the other workers safely parked. A tile
 // whose clock is already at or past the barrier (possible only after a
 // sequential fallback step) has nothing to do before it and skips.

@@ -1,6 +1,7 @@
 package pdes
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -154,6 +155,79 @@ func TestExchangeDeliversAcrossTiles(t *testing.T) {
 
 	if len(delivered) != 1 || delivered[0] != 1.0+delay {
 		t.Fatalf("delivered = %v, want [%v]", delivered, 1.0+delay)
+	}
+}
+
+// TestWorkersKnobIsResultInvariant runs the same many-tile workload
+// (most tiles idle — the active-worklist path) under several pool
+// sizes, including a pool far smaller than the tile count, and demands
+// identical firing orders and final clocks.
+func TestWorkersKnobIsResultInvariant(t *testing.T) {
+	const tilesN = 16
+	run := func(workers int) ([][]int, []sim.Time) {
+		tiles, global := newTiles(tilesN)
+		// Per-tile firing records: written only by the owning tile's
+		// worker, read after Run joins the pool. Only tiles 3 and 11 are
+		// ever active; the rest must still end at the horizon via lazy
+		// clock sync.
+		order := make([][]int, tilesN)
+		for _, i := range []int{3, 11} {
+			i := i
+			for step := 0; step < 4; step++ {
+				step := step
+				tiles[i].Schedule(sim.Time(step)+0.25, func() {
+					order[i] = append(order[i], step)
+				})
+			}
+		}
+		global.Schedule(1.5, func() {
+			// Control-lane contract: every tile clock equals the global
+			// clock whenever a global handler runs.
+			for i, k := range tiles {
+				if k.Now() != global.Now() {
+					t.Errorf("workers=%d: tile %d clock %v at global handler time %v",
+						workers, i, k.Now(), global.Now())
+				}
+			}
+		})
+		cd := make([]sim.Time, tilesN)
+		for i := range cd {
+			cd[i] = 0.5
+		}
+		Run(Config{
+			Tiles:      tiles,
+			Global:     global,
+			MinArm:     0.25,
+			CrossDelay: cd,
+			Exchange:   func() int { return 0 },
+			Workers:    workers,
+		}, 10.0)
+		clocks := make([]sim.Time, tilesN)
+		for i, k := range tiles {
+			clocks[i] = k.Now()
+		}
+		return order, clocks
+	}
+
+	wantOrder, wantClocks := run(1)
+	for _, c := range wantClocks {
+		if c != 10.0 {
+			t.Fatalf("clocks after run = %v, want all at horizon", wantClocks)
+		}
+	}
+	if len(wantOrder[3]) != 4 || len(wantOrder[11]) != 4 {
+		t.Fatalf("active tiles fired %d/%d events, want 4/4", len(wantOrder[3]), len(wantOrder[11]))
+	}
+	for _, w := range []int{2, 3, 16, 64} {
+		order, clocks := run(w)
+		for i := range order {
+			if !slices.Equal(order[i], wantOrder[i]) {
+				t.Errorf("workers=%d: tile %d fired %v, want %v", w, i, order[i], wantOrder[i])
+			}
+		}
+		if !slices.Equal(clocks, wantClocks) {
+			t.Errorf("workers=%d: clocks %v, want %v", w, clocks, wantClocks)
+		}
 	}
 }
 

@@ -39,8 +39,30 @@ type Channel struct {
 	fader  propagation.Fader
 	noFade bool       // fader is propagation.NoFade: skip draws and reuse meanMW
 	frng   *rand.Rand // fading draws
-	grid   *geo.Grid
-	radios []*Radio
+	grid   *geo.HierGrid
+
+	// radios is the contiguous radio arena, and states/txPow/energies
+	// are the struct-of-arrays hot per-node scalars hoisted out of the
+	// Radio struct: transceiver phase (up/down, rx/tx), live transmit
+	// power, and the energy meter, all indexed by node id. The four
+	// slices come from one Pools.radioArena call, so a sweep worker's
+	// consecutive runs reuse the same backing memory.
+	radios   []Radio
+	states   []State
+	txPow    []float64
+	energies []Energy
+
+	// params is the single shared radio configuration every Radio points
+	// at, and power the single shared draw profile every Energy points
+	// at; noiseMW/csThreshMW/captureRatio are the linear-domain images of
+	// the dB thresholds, converted once here so the per-signal hot paths
+	// (carrier sensing, SINR) compare milliwatts without per-node cached
+	// copies. All frozen after NewChannel.
+	params       Params
+	power        Power
+	noiseMW      float64 // params.NoiseFloorDBm in mW
+	csThreshMW   float64 // params.CSThreshDBm in mW
+	captureRatio float64 // params.CaptureDB as a linear power ratio
 
 	// cutoff is the distance beyond which a transmission cannot affect
 	// a receiver even after fading; signals past it are not scheduled.
@@ -71,6 +93,11 @@ type Channel struct {
 	links     [][]link
 	linkValid []bool
 	noCache   bool
+	// linkCap, when positive, bounds how many nodes per tile may hold a
+	// valid link cache at once: each tile evicts its least-recently
+	// built entry FIFO-style past the cap. Rebuilds are bit-identical,
+	// so eviction changes memory and time, never results.
+	linkCap int
 
 	// offsets holds the fault plane's per-link shadowing: extra gain in
 	// dB applied on top of the propagation model for specific directed
@@ -114,6 +141,13 @@ type tileCtx struct {
 
 	scratch []int
 	outbox  []xdeliv
+
+	// cached is the FIFO of nodes whose link cache this tile built,
+	// consulted only when the channel bounds cache residency
+	// (Channel.linkCap > 0). cachedHead indexes the oldest live entry;
+	// the slice compacts when the dead prefix dominates.
+	cached     []int32
+	cachedHead int
 }
 
 // xdeliv is one boundary-crossing delivery parked in a source tile's
@@ -153,6 +187,14 @@ type ChannelConfig struct {
 	// is the slow reference path; it exists so tests can prove the
 	// cached channel is bit-for-bit equivalent to it.
 	NoLinkCache bool
+	// LinkCacheCap, when positive, bounds the number of per-node link
+	// caches each tile keeps live at once (FIFO eviction). At mega
+	// scale an unbounded cache costs kilobytes per transmitter that
+	// ever spoke; a cap keeps link-cache memory O(active transmitters
+	// per tile). Zero means unbounded (the historical behavior).
+	// Eviction only forces bit-identical rebuilds — results never
+	// change.
+	LinkCacheCap int
 	// Pools, when non-nil, supplies externally owned signal/delivery
 	// free lists (a sweep worker's reusable run context). Nil means the
 	// channel allocates private pools — identical behavior, colder
@@ -182,6 +224,21 @@ type TileSpec struct {
 	Pools *Pools
 }
 
+// CutoffFor returns the interference cutoff a channel over rect with
+// the given radio parameters will use: the distance beyond which a
+// transmission cannot affect a receiver, against the carrier-sense
+// threshold widened by fadeMarginDB (pass 0 without fading). Exposed so
+// the network layer can size PDES tilings from the same number the
+// channel computes.
+func CutoffFor(model propagation.Model, params Params, fadeMarginDB float64, rect geo.Rect) float64 {
+	cutoff := propagation.RangeFor(model, params.TxPowerDBm, params.CSThreshDBm-fadeMarginDB, 1,
+		rect.Width()+rect.Height()+1)
+	if cutoff <= 0 {
+		cutoff = rect.Width() + rect.Height()
+	}
+	return cutoff
+}
+
 // NewChannel builds a medium over the given node positions inside rect.
 // Radios are created eagerly, one per position, all with params; use
 // Radio(i) to retrieve them.
@@ -195,15 +252,11 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		fader = propagation.NoFade{}
 	}
 	_, noFade := fader.(propagation.NoFade)
-	cs := params.CSThreshDBm
-	if !noFade {
-		cs -= cfg.FadeMarginDB
+	margin := cfg.FadeMarginDB
+	if noFade {
+		margin = 0
 	}
-	cutoff := propagation.RangeFor(model, params.TxPowerDBm, cs, 1,
-		rect.Width()+rect.Height()+1)
-	if cutoff <= 0 {
-		cutoff = rect.Width() + rect.Height()
-	}
+	cutoff := CutoffFor(model, params, margin, rect)
 	cell := cutoff / 2
 	if cell <= 0 || cell > rect.Width() {
 		cell = rect.Width()/4 + 1
@@ -221,11 +274,12 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		fader:     fader,
 		noFade:    noFade,
 		frng:      cfg.Rng,
-		grid:      geo.NewGrid(rect, cell, positions),
+		grid:      geo.NewHierGrid(rect, cell, positions),
 		cutoff:    cutoff,
 		links:     make([][]link, len(positions)),
 		linkValid: make([]bool, len(positions)),
 		noCache:   cfg.NoLinkCache,
+		linkCap:   cfg.LinkCacheCap,
 		ranges:    ranges,
 	}
 	if len(cfg.Tiles) > 1 {
@@ -259,18 +313,21 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 		ch.ctl = t
 		ch.tileOf = make([]int32, len(positions))
 	}
-	ch.radios = make([]*Radio, len(positions))
+	ch.params = params
+	ch.power = DefaultPower()
+	ch.noiseMW = propagation.DBmToMilliwatt(params.NoiseFloorDBm)
+	ch.csThreshMW = propagation.DBmToMilliwatt(params.CSThreshDBm)
+	ch.captureRatio = propagation.DBmToMilliwatt(params.CaptureDB)
+	ch.radios, ch.states, ch.txPow, ch.energies = pools.radioArena(len(positions))
 	for i := range positions {
-		r := &Radio{
-			id:      packet.NodeID(i),
-			params:  params,
-			kernel:  ch.tiles[ch.tileOf[i]].kernel,
-			channel: ch,
-			state:   StateIdle,
-			energy:  NewEnergy(DefaultPower()),
-		}
-		r.initThresholds()
-		ch.radios[i] = r
+		r := &ch.radios[i]
+		r.id = packet.NodeID(i)
+		r.params = &ch.params
+		r.kernel = ch.tiles[ch.tileOf[i]].kernel
+		r.channel = ch
+		ch.states[i] = StateIdle
+		ch.txPow[i] = params.TxPowerDBm
+		ch.energies[i] = Energy{power: &ch.power, state: StateIdle}
 	}
 	return ch
 }
@@ -280,7 +337,7 @@ func NewChannel(k *sim.Kernel, rect geo.Rect, positions []geo.Point, params Para
 func (c *Channel) Tiled() bool { return len(c.tiles) > 1 }
 
 // Radio returns the transceiver at position index i.
-func (c *Channel) Radio(i int) *Radio { return c.radios[i] }
+func (c *Channel) Radio(i int) *Radio { return &c.radios[i] }
 
 // NumRadios returns the number of attached transceivers.
 func (c *Channel) NumRadios() int { return len(c.radios) }
@@ -373,11 +430,49 @@ func (c *Channel) RegisterMetrics(reg *metrics.Registry) {
 	})
 }
 
+// RegisterRadioMetrics registers the network-wide phy.* series as
+// aggregate func-counters summing over every radio, in the exact order
+// Radio.RegisterMetrics registers them per radio. The registry sums
+// same-name sources at snapshot time, so N per-radio Observe
+// registrations and one aggregate Func per series expose bit-identical
+// snapshots — but the aggregate costs O(1) registry entries instead of
+// O(N), which is what makes a million-radio registry affordable.
+func (c *Channel) RegisterRadioMetrics(reg *metrics.Registry) {
+	sum := func(pick func(*radioCounters) *metrics.Counter32) func() uint64 {
+		return func() uint64 {
+			var s uint64
+			for i := range c.radios {
+				s += pick(&c.radios[i].stats).Value()
+			}
+			return s
+		}
+	}
+	reg.Func("phy.tx_frames", sum(func(s *radioCounters) *metrics.Counter32 { return &s.txFrames }))
+	reg.Func("phy.rx_frames", sum(func(s *radioCounters) *metrics.Counter32 { return &s.rxFrames }))
+	reg.Func("phy.collisions", sum(func(s *radioCounters) *metrics.Counter32 { return &s.collisions }))
+	reg.Func("phy.missed_weak", sum(func(s *radioCounters) *metrics.Counter32 { return &s.missedWeak }))
+	reg.Func("phy.dropped_off", sum(func(s *radioCounters) *metrics.Counter32 { return &s.droppedOff }))
+	reg.Func("phy.aborted_by_tx", sum(func(s *radioCounters) *metrics.Counter32 { return &s.abortedByTx }))
+	reg.Func("phy.aborted_by_off", sum(func(s *radioCounters) *metrics.Counter32 { return &s.abortedByOff }))
+	reg.Func("phy.tx_aborted", sum(func(s *radioCounters) *metrics.Counter32 { return &s.txAborted }))
+	reg.Func("phy.truncated", sum(func(s *radioCounters) *metrics.Counter32 { return &s.truncated }))
+	reg.Func("phy.signal_starts", sum(func(s *radioCounters) *metrics.Counter32 { return &s.signalStarts }))
+	reg.Func("phy.signal_ends", sum(func(s *radioCounters) *metrics.Counter32 { return &s.signalEnds }))
+	reg.Func("phy.flushed_by_off", sum(func(s *radioCounters) *metrics.Counter32 { return &s.flushedByOff }))
+	reg.Func("phy.in_air", func() uint64 {
+		var n uint64
+		for i := range c.radios {
+			n += uint64(len(c.radios[i].inAir))
+		}
+		return n
+	})
+}
+
 // MeanPowerAt returns the deterministic (unfaded) receive power in dBm
 // between two node indices — used by tests and by range queries.
 func (c *Channel) MeanPowerAt(from, to int) float64 {
 	d := c.grid.At(from).Dist(c.grid.At(to))
-	return c.linkGain(from, to, c.model.ReceivedPower(c.radios[from].params.TxPowerDBm, d))
+	return c.linkGain(from, to, c.model.ReceivedPower(c.txPow[from], d))
 }
 
 // SetLinkOffset applies an extra deterministic gain of db decibels to
@@ -426,7 +521,7 @@ func (c *Channel) buildLinks(t *tileCtx, src int) []link {
 	t.scratch = c.grid.WithinRadius(t.scratch[:0], pos, c.cutoff, src)
 	slices.Sort(t.scratch)
 	ls := c.links[src][:0]
-	tx := c.radios[src].params.TxPowerDBm
+	tx := c.txPow[src]
 	for _, idx := range t.scratch {
 		d := pos.Dist(c.grid.At(idx))
 		p := c.linkGain(src, idx, c.model.ReceivedPower(tx, d))
@@ -440,7 +535,35 @@ func (c *Channel) buildLinks(t *tileCtx, src int) []link {
 	}
 	c.links[src] = ls
 	c.linkValid[src] = true
+	if c.linkCap > 0 && !c.noCache {
+		c.boundCache(t, src)
+	}
 	return ls
+}
+
+// boundCache records src in tile t's cache-residency FIFO and evicts
+// the oldest entries past the channel's cap. An evicted node's next
+// transmission rebuilds its links bit-identically, so the bound trades
+// rebuild time for O(linkCap) cache memory per tile. Entries can be
+// stale (invalidated by MoveTo/SetTxPower, or re-cached later in the
+// FIFO); evicting a stale entry is a cheap no-op.
+func (c *Channel) boundCache(t *tileCtx, src int) {
+	t.cached = append(t.cached, int32(src))
+	for len(t.cached)-t.cachedHead > c.linkCap {
+		old := t.cached[t.cachedHead]
+		t.cachedHead++
+		if int(old) != src && c.linkValid[old] {
+			c.linkValid[old] = false
+			c.links[old] = nil
+		}
+	}
+	// Compact once the dead prefix dominates, keeping the FIFO's
+	// footprint proportional to the cap rather than to traffic history.
+	if t.cachedHead > len(t.cached)/2 && t.cachedHead > 32 {
+		n := copy(t.cached, t.cached[t.cachedHead:])
+		t.cached = t.cached[:n]
+		t.cachedHead = 0
+	}
 }
 
 // transmit fans a frame out to every radio within the cutoff range.
@@ -467,7 +590,7 @@ func (c *Channel) transmit(src *Radio, pkt *packet.Packet, dur sim.Time) {
 	now := t.kernel.Now()
 	for i := range ls {
 		l := &ls[i]
-		rcv := c.radios[l.idx]
+		rcv := &c.radios[l.idx]
 		var pDBm, pMW float64
 		if c.noFade {
 			pDBm, pMW = l.meanDBm, l.meanMW
@@ -588,7 +711,7 @@ func (c *Channel) InjectInterference(pos geo.Point, txDBm float64, dur sim.Time)
 	now := ct.kernel.Now()
 	hits := 0
 	for _, idx := range ct.scratch {
-		rcv := c.radios[idx]
+		rcv := &c.radios[idx]
 		d := pos.Dist(c.grid.At(idx))
 		pDBm := c.model.ReceivedPower(txDBm, d)
 		if pDBm < rcv.params.CSThreshDBm {
@@ -639,8 +762,8 @@ func (c *Channel) NeighborCount(i int) int {
 // bisection is memoized per parameter set — experiments call this for
 // every node of fields where all radios share one configuration.
 func (c *Channel) DecodeRange(i int) float64 {
-	r := c.radios[i]
-	return c.ranges.RangeFor(c.model, r.params.TxPowerDBm, r.params.RxThreshDBm, 1, c.cutoff+1)
+	r := &c.radios[i]
+	return c.ranges.RangeFor(c.model, c.txPow[i], r.params.RxThreshDBm, 1, c.cutoff+1)
 }
 
 // Connected reports whether the deterministic unit-disk graph induced

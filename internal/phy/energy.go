@@ -38,15 +38,19 @@ func (p Power) draw(s State) float64 {
 // the route, can freely switch to a sleep mode to save energy" (§4.2)
 // is quantified with these meters.
 type Energy struct {
-	power   Power
+	// power points at a draw profile shared across meters (the Channel
+	// keeps one copy for its whole energies arena — an inline Power per
+	// node is 40 identical bytes of mega-scale arena weight).
+	power   *Power
 	last    sim.Time
 	state   State
 	joules  float64
 	byState [5]float64
 }
 
-// NewEnergy returns a meter starting at t=0 in the idle state.
-func NewEnergy(p Power) *Energy {
+// NewEnergy returns a meter starting at t=0 in the idle state. The
+// profile is retained, not copied; callers must not mutate it.
+func NewEnergy(p *Power) *Energy {
 	return &Energy{power: p, state: StateIdle}
 }
 

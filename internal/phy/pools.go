@@ -18,6 +18,17 @@ import "routeless/internal/packet"
 type Pools struct {
 	sig []*signal
 	del []*delivery
+
+	// Radio arena: the channel's per-node state — the Radio structs and
+	// the struct-of-arrays hot scalars (phase, transmit power, energy
+	// meter) — lives in these contiguous slices, handed out by
+	// radioArena. A sweep worker's consecutive runs reuse the same
+	// backing arrays (including each radio's warmed inAir/txLive
+	// capacity) instead of allocating N small objects per cell.
+	radios   []Radio
+	states   []State
+	txPow    []float64
+	energies []Energy
 }
 
 // NewPools returns an empty pool set, ready to hand to ChannelConfig.
@@ -66,6 +77,30 @@ func (p *Pools) newDelivery(t *tileCtx) *delivery {
 	}
 	d.tile = t
 	return d
+}
+
+// radioArena returns cleared per-node state slices of length n,
+// reusing the pool's backing arrays when they are large enough. Radio
+// structs keep their inAir/txLive backing across reuse (warm capacity);
+// every other field is zeroed, so a recycled arena is indistinguishable
+// from a fresh one.
+func (p *Pools) radioArena(n int) ([]Radio, []State, []float64, []Energy) {
+	if cap(p.radios) < n {
+		p.radios = make([]Radio, n)
+		p.states = make([]State, n)
+		p.txPow = make([]float64, n)
+		p.energies = make([]Energy, n)
+	}
+	p.radios = p.radios[:n]
+	p.states = p.states[:n]
+	p.txPow = p.txPow[:n]
+	p.energies = p.energies[:n]
+	for i := range p.radios {
+		r := &p.radios[i]
+		inAir, txLive := r.inAir[:0], r.txLive[:0]
+		*r = Radio{inAir: inAir, txLive: txLive}
+	}
+	return p.radios, p.states, p.txPow, p.energies
 }
 
 // releaseDelivery returns a finished delivery to the free list.

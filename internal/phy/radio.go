@@ -110,18 +110,18 @@ type Stats struct {
 // through metrics.Counter methods only; the registry sums the per-radio
 // counters into network-wide phy.* series.
 type radioCounters struct {
-	txFrames     metrics.Counter
-	rxFrames     metrics.Counter
-	collisions   metrics.Counter
-	missedWeak   metrics.Counter
-	droppedOff   metrics.Counter
-	abortedByTx  metrics.Counter
-	abortedByOff metrics.Counter
-	txAborted    metrics.Counter
-	truncated    metrics.Counter
-	signalStarts metrics.Counter
-	signalEnds   metrics.Counter
-	flushedByOff metrics.Counter
+	txFrames     metrics.Counter32
+	rxFrames     metrics.Counter32
+	collisions   metrics.Counter32
+	missedWeak   metrics.Counter32
+	droppedOff   metrics.Counter32
+	abortedByTx  metrics.Counter32
+	abortedByOff metrics.Counter32
+	txAborted    metrics.Counter32
+	truncated    metrics.Counter32
+	signalStarts metrics.Counter32
+	signalEnds   metrics.Counter32
+	flushedByOff metrics.Counter32
 }
 
 // signal is one frame in flight at a particular receiver.
@@ -137,22 +137,27 @@ type signal struct {
 }
 
 // Radio is a half-duplex transceiver attached to a Channel.
+//
+// The hottest per-node scalars do not live here: the transceiver phase
+// (up/down and rx/tx state), the live transmit power, and the energy
+// meter are struct-of-arrays state owned by the Channel — contiguous
+// slices indexed by node id, allocated arena-style from the channel's
+// Pools (see Pools.radioArena). The Radio holds its id and channel
+// pointer and reads/writes those arrays through accessors, so a
+// million-radio network touches dense arrays instead of a million
+// heap objects.
 type Radio struct {
-	id       packet.NodeID
-	params   Params
+	id packet.NodeID
+	// params points at the Channel's single shared copy: every radio on
+	// a channel runs the same receive-side configuration, and an inline
+	// 48-byte duplicate per node is real arena weight at mega scale.
+	// The linear-domain threshold cache lives on the Channel too (see
+	// Channel.noiseMW and friends).
+	params   *Params
 	kernel   *sim.Kernel
 	channel  *Channel
 	listener Listener
 
-	// Linear-domain images of the dB thresholds, converted once at
-	// construction (see initThresholds) so the per-signal hot paths —
-	// carrier sensing and SINR — compare milliwatts directly instead of
-	// calling log10/pow on every event.
-	noiseMW      float64 // params.NoiseFloorDBm in mW
-	csThreshMW   float64 // params.CSThreshDBm in mW
-	captureRatio float64 // params.CaptureDB as a linear power ratio
-
-	state     State
 	inAir     []*signal
 	rx        *signal
 	rxCorrupt bool
@@ -169,28 +174,23 @@ type Radio struct {
 	// power-down already truncated.
 	txEnd sim.Time
 
-	energy *Energy
-	stats  radioCounters
-}
-
-// initThresholds caches the linear-domain thresholds. Called at
-// construction; the cached fields depend only on receive-side
-// parameters, which never change after construction (SetTxPower touches
-// the transmit side only).
-func (r *Radio) initThresholds() {
-	r.noiseMW = propagation.DBmToMilliwatt(r.params.NoiseFloorDBm)
-	r.csThreshMW = propagation.DBmToMilliwatt(r.params.CSThreshDBm)
-	r.captureRatio = propagation.DBmToMilliwatt(r.params.CaptureDB)
+	stats radioCounters
 }
 
 // ID returns the radio's node id.
 func (r *Radio) ID() packet.NodeID { return r.id }
 
-// State returns the current transceiver state.
-func (r *Radio) State() State { return r.state }
+// State returns the current transceiver state (a read of the channel's
+// struct-of-arrays phase slot).
+func (r *Radio) State() State { return r.channel.states[r.id] }
 
-// Params returns the radio's configuration.
-func (r *Radio) Params() Params { return r.params }
+// Params returns the radio's configuration, with the live transmit
+// power (which SetTxPower may have changed since construction).
+func (r *Radio) Params() Params {
+	p := *r.params
+	p.TxPowerDBm = r.channel.txPow[r.id]
+	return p
+}
 
 // Stats returns a snapshot of the radio's counters.
 func (r *Radio) Stats() Stats {
@@ -214,23 +214,24 @@ func (r *Radio) Stats() Stats {
 // count with the registry; per-radio registrations under the same names
 // sum into network-wide phy.* series.
 func (r *Radio) RegisterMetrics(reg *metrics.Registry) {
-	reg.Observe("phy.tx_frames", &r.stats.txFrames)
-	reg.Observe("phy.rx_frames", &r.stats.rxFrames)
-	reg.Observe("phy.collisions", &r.stats.collisions)
-	reg.Observe("phy.missed_weak", &r.stats.missedWeak)
-	reg.Observe("phy.dropped_off", &r.stats.droppedOff)
-	reg.Observe("phy.aborted_by_tx", &r.stats.abortedByTx)
-	reg.Observe("phy.aborted_by_off", &r.stats.abortedByOff)
-	reg.Observe("phy.tx_aborted", &r.stats.txAborted)
-	reg.Observe("phy.truncated", &r.stats.truncated)
-	reg.Observe("phy.signal_starts", &r.stats.signalStarts)
-	reg.Observe("phy.signal_ends", &r.stats.signalEnds)
-	reg.Observe("phy.flushed_by_off", &r.stats.flushedByOff)
+	reg.Observe32("phy.tx_frames", &r.stats.txFrames)
+	reg.Observe32("phy.rx_frames", &r.stats.rxFrames)
+	reg.Observe32("phy.collisions", &r.stats.collisions)
+	reg.Observe32("phy.missed_weak", &r.stats.missedWeak)
+	reg.Observe32("phy.dropped_off", &r.stats.droppedOff)
+	reg.Observe32("phy.aborted_by_tx", &r.stats.abortedByTx)
+	reg.Observe32("phy.aborted_by_off", &r.stats.abortedByOff)
+	reg.Observe32("phy.tx_aborted", &r.stats.txAborted)
+	reg.Observe32("phy.truncated", &r.stats.truncated)
+	reg.Observe32("phy.signal_starts", &r.stats.signalStarts)
+	reg.Observe32("phy.signal_ends", &r.stats.signalEnds)
+	reg.Observe32("phy.flushed_by_off", &r.stats.flushedByOff)
 	reg.Func("phy.in_air", func() uint64 { return uint64(len(r.inAir)) })
 }
 
-// Energy returns the radio's energy meter.
-func (r *Radio) Energy() *Energy { return r.energy }
+// Energy returns the radio's energy meter (a view into the channel's
+// struct-of-arrays meter slot).
+func (r *Radio) Energy() *Energy { return &r.channel.energies[r.id] }
 
 // SetListener installs the MAC; it must be called before any traffic.
 func (r *Radio) SetListener(l Listener) { r.listener = l }
@@ -240,12 +241,15 @@ func (r *Radio) SetListener(l Listener) { r.listener = l }
 // discusses ("may negatively affect the efficiency, but not the
 // correctness").
 func (r *Radio) SetTxPower(dbm float64) {
-	r.params.TxPowerDBm = dbm
+	r.channel.txPow[r.id] = dbm
 	r.channel.invalidateLinks(int(r.id))
 }
 
 // On reports whether the radio can currently send or receive.
-func (r *Radio) On() bool { return r.state != StateOff && r.state != StateSleep }
+func (r *Radio) On() bool {
+	s := r.channel.states[r.id]
+	return s != StateOff && s != StateSleep
+}
 
 // CarrierBusy reports whether the medium is sensed busy: the radio is
 // transmitting, locked on a frame, or total in-air power exceeds the
@@ -253,10 +257,10 @@ func (r *Radio) On() bool { return r.state != StateOff && r.state != StateSleep 
 // (milliwatts), which is equivalent to the dB comparison because log10
 // is strictly increasing.
 func (r *Radio) CarrierBusy() bool {
-	if r.state == StateTx || r.state == StateRx {
+	if s := r.channel.states[r.id]; s == StateTx || s == StateRx {
 		return true
 	}
-	return r.inAirMW() >= r.csThreshMW
+	return r.inAirMW() >= r.channel.csThreshMW
 }
 
 func (r *Radio) inAirMW() float64 {
@@ -270,7 +274,7 @@ func (r *Radio) inAirMW() float64 {
 // interferenceMW returns noise plus in-air power, excluding the frame
 // under consideration.
 func (r *Radio) interferenceMW(frame *signal) float64 {
-	sum := r.noiseMW
+	sum := r.channel.noiseMW
 	for _, s := range r.inAir {
 		if s != frame {
 			sum += s.powerMW
@@ -287,7 +291,7 @@ func (r *Radio) sinrOK(frame *signal) bool {
 	if interf <= 0 {
 		return true
 	}
-	return frame.powerMW >= interf*r.captureRatio
+	return frame.powerMW >= interf*r.channel.captureRatio
 }
 
 // Transmit puts a frame on the air. The caller (MAC) is responsible for
@@ -295,9 +299,9 @@ func (r *Radio) sinrOK(frame *signal) bool {
 // (half-duplex). Transmit panics if the radio is off, asleep, or
 // already transmitting — those are MAC bugs, not channel conditions.
 func (r *Radio) Transmit(pkt *packet.Packet) {
-	switch r.state {
+	switch r.State() {
 	case StateOff, StateSleep:
-		panic(fmt.Sprintf("phy: %v Transmit while %v", r.id, r.state))
+		panic(fmt.Sprintf("phy: %v Transmit while %v", r.id, r.State()))
 	case StateTx:
 		panic(fmt.Sprintf("phy: %v Transmit while already transmitting", r.id))
 	case StateRx:
@@ -317,7 +321,7 @@ func (r *Radio) Transmit(pkt *packet.Packet) {
 }
 
 func (r *Radio) txDone() {
-	if r.state != StateTx { // turned off mid-transmission
+	if r.State() != StateTx { // turned off mid-transmission
 		return
 	}
 	if r.kernel.Now() < r.txEnd { // stale event from a truncated transmission
@@ -341,7 +345,7 @@ func (r *Radio) signalStart(s *signal) {
 	s.tracked = true
 	r.stats.signalStarts.Inc()
 	r.inAir = append(r.inAir, s)
-	switch r.state {
+	switch r.State() {
 	case StateIdle:
 		if s.powerDBm >= r.params.RxThreshDBm {
 			switch {
@@ -386,10 +390,10 @@ func (r *Radio) signalEnd(s *signal) {
 		}
 	}
 	if r.rx == s {
-		ok := !r.rxCorrupt && r.state == StateRx
+		ok := !r.rxCorrupt && r.State() == StateRx
 		r.rx = nil
 		r.rxCorrupt = false
-		if r.state == StateRx {
+		if r.State() == StateRx {
 			r.setState(StateIdle)
 		}
 		if ok {
@@ -436,7 +440,8 @@ func (r *Radio) TurnOff() { r.powerDown(StateOff) }
 func (r *Radio) Sleep() { r.powerDown(StateSleep) }
 
 func (r *Radio) powerDown(s State) {
-	if r.state == StateOff || r.state == StateSleep {
+	cur := r.State()
+	if cur == StateOff || cur == StateSleep {
 		r.setState(s)
 		return
 	}
@@ -445,7 +450,7 @@ func (r *Radio) powerDown(s State) {
 		r.rx = nil
 		r.rxCorrupt = false
 	}
-	if r.state == StateTx {
+	if cur == StateTx {
 		// Truncate the transmission in flight: receivers that would have
 		// decoded it count it as truncated instead.
 		r.stats.txAborted.Inc()
@@ -474,8 +479,7 @@ func (r *Radio) TurnOn() {
 }
 
 func (r *Radio) setState(s State) {
-	if r.energy != nil {
-		r.energy.Transition(r.kernel.Now(), r.state, s)
-	}
-	r.state = s
+	st := &r.channel.states[r.id]
+	r.channel.energies[r.id].Transition(r.kernel.Now(), *st, s)
+	*st = s
 }

@@ -95,8 +95,9 @@ func TestSSAFUnderRayleighFading(t *testing.T) {
 	delivered := 0
 	nw.Nodes[60].OnAppReceive = func(*packet.Packet) { delivered++ }
 	protos := make([]node.Protocol, 0, 80)
+	fcfg := flood.SSAFConfig(10e-3, -55.1, -33.2)
 	nw.Install(func(n *node.Node) node.Protocol {
-		p := flood.New(flood.SSAFConfig(10e-3, -55.1, -33.2))
+		p := flood.New(&fcfg)
 		protos = append(protos, p)
 		return p
 	})

@@ -85,10 +85,48 @@ func (n heapNode) before(o heapNode) bool {
 // kernels that run concurrently.
 type EventPool struct {
 	free []*Event
+
+	// live counts events currently checked out (allocated or reused via
+	// At and not yet recycled); peak is its high-water mark since the
+	// last Reset. Together they are the shrink watermark: a pool that
+	// served a million-event cell and is then reused for a hundred-event
+	// cell trims back to what the recent workload actually needed
+	// instead of pinning the largest cell's memory for the whole sweep.
+	live int
+	peak int
 }
 
 // NewEventPool returns an empty pool, ready to hand to NewKernelPooled.
 func NewEventPool() *EventPool { return &EventPool{} }
+
+// FreeLen returns the current free-list length (spare events held).
+func (p *EventPool) FreeLen() int { return len(p.free) }
+
+// Peak returns the high-water checked-out event count since the last
+// Reset — the watermark Reset shrinks to.
+func (p *EventPool) Peak() int { return p.peak }
+
+// Reset shrinks the free list to the watermark of the workload since
+// the previous Reset and restarts tracking. Call it between runs (no
+// kernel may be live on the pool): the next run of similar size reuses
+// every retained event, while a smaller run no longer pays the largest
+// predecessor's footprint. Dropped slots are nil'd so the events are
+// collectable, and a grossly oversized backing array is reallocated so
+// the slice header itself cannot pin the old peak.
+func (p *EventPool) Reset() {
+	keep := p.peak
+	if keep > len(p.free) {
+		keep = len(p.free)
+	}
+	for i := keep; i < len(p.free); i++ {
+		p.free[i] = nil
+	}
+	p.free = p.free[:keep]
+	if cap(p.free) > 2*keep+64 {
+		p.free = append(make([]*Event, 0, keep), p.free...)
+	}
+	p.live, p.peak = 0, 0
+}
 
 // Kernel is a discrete-event scheduler. The zero value is not usable;
 // construct with NewKernel.
@@ -177,6 +215,10 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		k.pool.free = k.pool.free[:n-1]
 	} else {
 		e = &Event{}
+	}
+	k.pool.live++
+	if k.pool.live > k.pool.peak {
+		k.pool.peak = k.pool.live
 	}
 	e.at = t
 	e.fn = fn
@@ -327,6 +369,7 @@ func (k *Kernel) Cancel(e *Event) {
 func (k *Kernel) recycle(e *Event) {
 	e.fn = nil
 	e.kernel = nil
+	k.pool.live--
 	// Retain enough spares to cover the live queue: once the free list
 	// matches the peak in-flight event count, every At() is a reuse.
 	if len(k.pool.free) < len(k.events)+64 {

@@ -18,12 +18,21 @@ type Timer struct {
 
 // NewTimer returns a stopped timer that runs fn on expiry.
 func NewTimer(k *Kernel, fn func()) *Timer {
+	t := &Timer{}
+	InitTimer(t, k, fn)
+	return t
+}
+
+// InitTimer initializes a stopped timer in place — the value-embedding
+// alternative to NewTimer for owners that hold the Timer inline (one
+// fewer heap object per node at mega scale). The timer captures its own
+// address, so the owner must not be copied afterwards.
+func InitTimer(t *Timer, k *Kernel, fn func()) {
 	if fn == nil {
 		panic("sim: nil timer callback")
 	}
-	t := &Timer{kernel: k, fn: fn}
+	*t = Timer{kernel: k, fn: fn}
 	t.fireFn = t.fire
-	return t
 }
 
 // MarkTagged makes every subsequent schedule of this timer a tagged

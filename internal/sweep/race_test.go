@@ -24,8 +24,9 @@ func raceCell(ctx *Context, i int, c Cell) uint64 {
 		EnsureConnected: true,
 		Runtime:         ctx.Runtime(),
 	})
+	fcfg := flood.Counter1Config(10e-3)
 	nw.Install(func(n *node.Node) node.Protocol {
-		return flood.New(flood.Counter1Config(10e-3))
+		return flood.New(&fcfg)
 	})
 	cbr := traffic.NewCBR(nw.Nodes[0], nw.Nodes[len(nw.Nodes)-1].ID, sim.Time(0.25), 32)
 	cbr.Start()

@@ -143,6 +143,9 @@ func Run[T any](workers int, cells []Cell, fn func(ctx *Context, i int, c Cell) 
 		ctx := &Context{worker: 0, rt: node.NewRuntime()}
 		for i, c := range cells {
 			out[i] = fn(ctx, i, c)
+			// Shrink pooled free lists to this cell's watermark, so one
+			// big cell does not pin its footprint for the whole sweep.
+			ctx.rt.Reset()
 		}
 		return out
 	}
@@ -157,6 +160,7 @@ func Run[T any](workers int, cells []Cell, fn func(ctx *Context, i int, c Cell) 
 				return
 			}
 			out[i] = fn(ctx, i, cells[i])
+			ctx.rt.Reset()
 		}
 	})
 	return out

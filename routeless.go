@@ -310,8 +310,10 @@ type (
 	FloodConfig = flood.Config
 )
 
-// NewFlooding builds a flooding instance from the config.
-func NewFlooding(cfg FloodConfig) *Flooding { return flood.New(cfg) }
+// NewFlooding builds a flooding instance from the config. The config is
+// shared by every instance built from the same pointer (flood.New
+// retains it); callers must not mutate it afterwards.
+func NewFlooding(cfg *FloodConfig) *Flooding { return flood.New(cfg) }
 
 // Counter1Config is the paper's dedup-flooding baseline.
 var Counter1Config = flood.Counter1Config

@@ -54,7 +54,7 @@ func TestFloodingAPI(t *testing.T) {
 			N: 40, Rect: routeless.NewRect(700, 700), Seed: 9, EnsureConnected: true,
 		})
 		nw.Install(func(n *routeless.Node) routeless.Protocol {
-			return routeless.NewFlooding(cfg)
+			return routeless.NewFlooding(&cfg)
 		})
 		got := false
 		nw.Nodes[20].OnAppReceive = func(*routeless.Packet) { got = true }
