@@ -19,6 +19,13 @@
 //
 //	simfuzz -replay internal/fuzz/testdata/drain_negative_period.json
 //
+// Checkpoint cross-check mode (-snapshot) additionally runs every
+// scenario through the snapshot/restore oracle: run to the midpoint,
+// save, restore (replay-verified), finish, and compare final metrics
+// bitwise against the uninterrupted run:
+//
+//	simfuzz -seeds 1:50 -snapshot
+//
 // Other flags: -out DIR (where failing fixtures land, default
 // fuzz-failures), -shrink N (reducer evaluation budget per failure;
 // 0 disables shrinking), -v (print passing seeds too).
@@ -79,12 +86,17 @@ func run(args []string) int {
 		verbose = fs.Bool("v", false, "print every seed's verdict, not just failures")
 		maxN    = fs.Int("maxn", 0, "generator cap on node count (0 = default)")
 		maxDur  = fs.Float64("maxdur", 0, "generator cap on traffic seconds (0 = default)")
+		snapCk  = fs.Bool("snapshot", false, "checkpoint cross-check: also run each scenario as run-to-midpoint, save, restore, finish, and demand bitwise-identical final metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	var runner fuzz.Runner
+	exec := runner.Run
+	if *snapCk {
+		exec = runner.RunSnapshot
+	}
 
 	if *replay != "" {
 		fx, err := fuzz.LoadFixture(*replay)
@@ -92,7 +104,7 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "simfuzz:", err)
 			return 2
 		}
-		res := runner.Run(fx.Scenario)
+		res := exec(fx.Scenario)
 		fmt.Printf("replay %s: verdict=%s", *replay, res.Verdict)
 		if res.Detail != "" {
 			fmt.Printf(" detail=%s", firstLine(res.Detail))
@@ -139,7 +151,7 @@ func run(args []string) int {
 		}
 
 		sc := fuzz.Generate(seed, lim)
-		res := runner.Run(sc)
+		res := exec(sc)
 		switch {
 		case res.Verdict == fuzz.VerdictPass:
 			pass++
@@ -156,7 +168,7 @@ func run(args []string) int {
 		default:
 			fail++
 			fmt.Printf("seed=%d verdict=%s detail=%s\n", seed, res.Verdict, firstLine(res.Detail))
-			if err := saveFailure(&runner, *out, seed, sc, res, *shrink); err != nil {
+			if err := saveFailure(exec, *out, seed, sc, res, *shrink); err != nil {
 				fmt.Fprintln(os.Stderr, "simfuzz:", err)
 				return 2
 			}
@@ -171,13 +183,14 @@ func run(args []string) int {
 }
 
 // saveFailure shrinks the failing scenario (keeping the same verdict
-// class as the reduction target) and writes the fixture.
-func saveFailure(runner *fuzz.Runner, dir string, seed int64, sc fuzz.Scenario, res fuzz.Result, shrinkEvals int) error {
+// class as the reduction target, under the same oracle mode that found
+// it) and writes the fixture.
+func saveFailure(exec func(fuzz.Scenario) fuzz.Result, dir string, seed int64, sc fuzz.Scenario, res fuzz.Result, shrinkEvals int) error {
 	min := sc
 	if shrinkEvals > 0 {
 		var evals int
 		min, evals = fuzz.Shrink(sc, func(cand fuzz.Scenario) bool {
-			return runner.Run(cand).Verdict == res.Verdict
+			return exec(cand).Verdict == res.Verdict
 		}, shrinkEvals)
 		fmt.Printf("seed=%d shrunk N=%d→%d duration=%g→%g flows=%d→%d faults=%d→%d (%d evals)\n",
 			seed, sc.N, min.N, sc.Duration, min.Duration,

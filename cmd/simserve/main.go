@@ -1,0 +1,54 @@
+// Command simserve exposes the simulator as a streaming HTTP service
+// over the unified scenario API (internal/serve): POST a scenario
+// document, tail its JSONL journal live, checkpoint it mid-flight, and
+// resume checkpoints as new runs. Runs execute on a sweep worker pool;
+// every journal byte equals what `wmansim -scenario -journal` writes
+// for the same document.
+//
+// Usage:
+//
+//	simserve -addr :8080 -workers 4
+//
+// API:
+//
+//	POST /runs                   scenario JSON  → {"id":"r000001"}
+//	GET  /runs/{id}              progress/status JSON
+//	GET  /runs/{id}/journal      JSONL stream, live until the run ends
+//	POST /runs/{id}/snapshot?at=T  binary snapshot document
+//	POST /runs/{id}/resume       snapshot document body → new run id
+//
+// Example session:
+//
+//	curl -s -X POST --data-binary @run.json localhost:8080/runs
+//	curl -sN localhost:8080/runs/r000001/journal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"routeless/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	srv := serve.New(*workers)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "simserve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "simserve:", err)
+		return 1
+	}
+	return 0
+}

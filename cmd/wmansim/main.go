@@ -27,9 +27,21 @@
 // summary record per experiment with the table CSV, git revision, and
 // wall time). Tiled runs are bitwise identical to sequential ones, so
 // -tiles changes wall time, never output bytes.
+//
+// Unified scenario documents (the same format simserve accepts):
+//
+//	wmansim -scenario run.json -journal run.jsonl     # run one document
+//	wmansim -scenario run.json -snapshot-at 5 -snapshot-out run.snap
+//	wmansim -restore run.snap -journal tail.jsonl     # resume a checkpoint
+//
+// A -scenario run's journal bytes equal what simserve streams for the
+// same document, and a -restore run appends exactly the records past
+// the checkpoint — concatenating prefix and suffix reproduces the
+// uninterrupted journal byte for byte.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +52,9 @@ import (
 
 	"routeless/internal/experiments"
 	"routeless/internal/metrics"
+	"routeless/internal/scenario"
+	"routeless/internal/sim"
+	"routeless/internal/snapshot"
 	"routeless/internal/stats"
 )
 
@@ -57,6 +72,80 @@ func main() {
 	os.Exit(run())
 }
 
+// runScenario is the unified-document entry point: build a run from a
+// scenario JSON file (or restore one from a snapshot document), journal
+// it through the same code path simserve streams, and either checkpoint
+// mid-flight or finish and print the paper-unit metrics as JSON. The
+// journal bytes a finished -scenario run appends are identical to what
+// simserve streams for the same document.
+func runScenario(scenarioPath, restorePath string, snapAt float64, snapOut string, journal *metrics.Journal) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "wmansim:", err)
+		return 2
+	}
+	var run *scenario.Run
+	switch {
+	case restorePath != "":
+		f, err := os.Open(restorePath)
+		if err != nil {
+			return fail(err)
+		}
+		run, err = snapshot.Load(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	default:
+		data, err := os.ReadFile(scenarioPath)
+		if err != nil {
+			return fail(err)
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			return fail(err)
+		}
+		run, err = scenario.Build(sc)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	run.SetJournal(journal)
+
+	if snapAt > 0 || snapOut != "" {
+		if snapOut == "" || !(snapAt > 0) {
+			return fail(fmt.Errorf("-snapshot-at and -snapshot-out must be used together"))
+		}
+		if err := run.AdvanceTo(sim.Time(snapAt)); err != nil {
+			return fail(err)
+		}
+		f, err := os.Create(snapOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := snapshot.Save(f, run); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("snapshot at t=%g written to %s\n", snapAt, snapOut)
+		return 0
+	}
+
+	rm, ferr := run.Finish()
+	out, err := json.Marshal(rm)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println(string(out))
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "wmansim: oracle:", ferr)
+		return 1
+	}
+	return 0
+}
+
 func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4|abl1|abl2|abl3|abl4|abl5|abl6|churn|mega|all")
@@ -70,6 +159,11 @@ func run() int {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		width    = flag.Int("width", 76, "figure 2 map width in characters")
 		journalF = flag.String("journal", "", "append a JSONL run journal to this file")
+
+		scenarioF = flag.String("scenario", "", "run a single scenario document (JSON file) instead of an experiment")
+		restoreF  = flag.String("restore", "", "resume a run from this snapshot document instead of building -scenario")
+		snapAt    = flag.Float64("snapshot-at", 0, "with -scenario/-restore: pause at this sim time, write -snapshot-out, and exit")
+		snapOut   = flag.String("snapshot-out", "", "snapshot output file for -snapshot-at")
 	)
 	flag.Parse()
 	if *churn {
@@ -92,6 +186,10 @@ func run() int {
 		}
 		defer f.Close()
 		journal = metrics.NewJournal(f)
+	}
+
+	if *scenarioF != "" || *restoreF != "" {
+		return runScenario(*scenarioF, *restoreF, *snapAt, *snapOut, journal)
 	}
 
 	seedList := make([]int64, *seeds)

@@ -1,0 +1,29 @@
+package core
+
+import "routeless/internal/digest"
+
+// DigestState folds the elector's round machine into h: round counter,
+// the decided latch and outcome, and the synchronization context the
+// backoff policy saw. The armed backoff timer is captured by the
+// kernel's pending-event digest.
+func (e *Elector) DigestState(h *digest.Hash) {
+	h.Uint64(uint64(e.round))
+	h.Bool(e.decided)
+	h.Uint64(uint64(e.outcome.Round))
+	h.Int64(int64(e.outcome.Leader))
+	h.Bool(e.outcome.Won)
+	h.Int64(int64(e.ctx.Self))
+	h.Float64(e.ctx.RSSIdBm)
+	h.Float64(e.ctx.DistanceToSender)
+}
+
+// DigestState folds the arbiter's retry machine into h: the current
+// round, acknowledged leader, the done latch, the retry count, and when
+// the logical election began.
+func (a *Arbiter) DigestState(h *digest.Hash) {
+	h.Uint64(uint64(a.round))
+	h.Int64(int64(a.leader))
+	h.Bool(a.done)
+	h.Int(a.retries)
+	h.Float64(float64(a.roundStart))
+}

@@ -73,7 +73,11 @@ func (s CrashSpec) validate() error {
 
 func (s CrashSpec) install(inj *Injector, idx int) {
 	for _, n := range selectNodes(inj.nw, s.Nodes, s.Exclude) {
-		fp := node.NewFailureProcess(n, rng.ForNode(inj.nw.Seed, rng.StreamFailure, int(n.ID)))
+		fr := rng.ForNode(inj.nw.Seed, rng.StreamFailure, int(n.ID))
+		if t := inj.nw.RNG; t != nil {
+			fr = t.ForNode(inj.nw.Seed, rng.StreamFailure, int(n.ID))
+		}
+		fp := node.NewFailureProcess(n, fr)
 		fp.OffFraction = s.OffFraction
 		if s.Cycle != 0 {
 			fp.Cycle = s.Cycle

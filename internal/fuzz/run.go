@@ -7,17 +7,10 @@ import (
 	"runtime/debug"
 
 	"routeless/internal/experiments"
-	"routeless/internal/fault"
-	"routeless/internal/flood"
 	"routeless/internal/metrics"
 	"routeless/internal/node"
-	"routeless/internal/packet"
-	"routeless/internal/phy"
-	"routeless/internal/propagation"
-	"routeless/internal/routing"
-	"routeless/internal/sim"
-	"routeless/internal/stats"
-	"routeless/internal/traffic"
+	"routeless/internal/scenario"
+	"routeless/internal/snapshot"
 )
 
 // Verdicts, from least to most alarming. Everything except
@@ -37,7 +30,9 @@ const (
 	VerdictViolation = "invariant-violation"
 	// VerdictDivergence: the same scenario produced two different
 	// metric snapshots under the same seed — the determinism contract
-	// is broken.
+	// is broken. The snapshot cross-check mode reports restore
+	// divergence (a restored run drifting from its uninterrupted twin)
+	// under the same verdict: both are the one contract failing.
 	VerdictDivergence = "determinism-divergence"
 	// VerdictPanic: the simulator crashed instead of reporting an
 	// error.
@@ -129,10 +124,10 @@ type onceOut struct {
 	panicMsg   string
 }
 
-// runOnce builds and runs the scenario once, converting any panic into
-// a value. The build path goes through the error-returning TryNew /
-// TryInstall entry points, so only genuine simulator bugs can still
-// reach the recover.
+// runOnce builds and runs the scenario once through scenario.Build,
+// converting any panic into a value. The build path goes through the
+// error-returning TryNew / TryInstall entry points, so only genuine
+// simulator bugs can still reach the recover.
 func (r *Runner) runOnce(sc Scenario, runIdx int) (out onceOut) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -140,72 +135,22 @@ func (r *Runner) runOnce(sc Scenario, runIdx int) (out onceOut) {
 		}
 	}()
 
-	cfg := node.Config{
-		N:         sc.N,
-		Rect:      sc.Rect(),
-		Positions: positions(sc),
-		Range:     sc.Range,
-		Seed:      sc.Seed,
-		Tiles:     sc.Tiles,
-	}
-	if sc.Placement == PlaceUniform {
-		cfg.EnsureConnected = sc.Connected
-	}
-	if sc.Fading {
-		cfg.Fader = propagation.Rayleigh{}
-	}
-	nw, err := node.TryNew(cfg)
+	run, err := scenario.Build(sc)
 	if err != nil {
 		out.buildErr = err
 		return
 	}
-	installProtocol(nw, sc)
-
-	var meter stats.Meter
-	tap := experiments.NewAppTap(nw, &meter)
-	cbrs := make([]*traffic.CBR, len(sc.Flows))
-	for i, f := range sc.Flows {
-		cbrs[i] = traffic.NewCBR(nw.Nodes[f.Src], packet.NodeID(f.Dst), sim.Time(sc.Interval), sc.DataSize)
-		tap.Watch(cbrs[i])
-		cbrs[i].Start()
-	}
-
-	var movers []*node.Waypoint
-	if m := sc.Mobility; m != nil {
-		for i := 0; i < m.Movers; i++ {
-			w := node.NewWaypoint(nw, nw.Nodes[i], mobilityRng(sc.Seed, i))
-			w.MinSpeed, w.MaxSpeed = m.MinSpeed, m.MaxSpeed
-			w.Start()
-			movers = append(movers, w)
-		}
-	}
-
-	plan, err := sc.Plan()
-	if err != nil {
-		out.buildErr = err
-		return
-	}
-	if _, err := fault.TryInstall(nw, plan); err != nil {
+	if err := run.AdvanceTo(run.End()); err != nil {
 		out.buildErr = err
 		return
 	}
 
-	nw.Run(sim.Time(sc.Duration))
-	for _, c := range cbrs {
-		c.Stop()
-	}
-	for _, w := range movers {
-		w.Stop()
-	}
-	// Experiments drain 5 s past traffic stop; the fuzzer matches so
-	// both face the same in-flight accounting at collect time.
-	nw.Run(sim.Time(sc.Duration) + 5)
-
+	nw := run.Network()
 	if r.Sabotage != nil {
 		r.Sabotage(runIdx, nw)
 	}
 
-	rm, _ := experiments.CollectChecked(nw, tap)
+	rm, _ := run.Finish()
 	out.metrics = rm
 	out.violations = nw.Metrics.Violations()
 	b, merr := json.Marshal(nw.Metrics.Snapshot())
@@ -216,41 +161,76 @@ func (r *Runner) runOnce(sc Scenario, runIdx int) (out onceOut) {
 	return
 }
 
-// installProtocol attaches the scenario's network layer, mirroring the
-// experiment harness's protocol table.
-func installProtocol(nw *node.Network, sc Scenario) {
-	lambda := sim.Time(sc.Lambda)
-	if lambda == 0 {
-		lambda = 10e-3
+// RunSnapshot executes the scenario under the checkpoint cross-check
+// oracle: run uninterrupted to the end; then run a twin to T (half the
+// run), Save, Load (which replays and verifies every state digest), and
+// continue the restored run to the end. Any Load failure or any byte of
+// difference between the two final metric snapshots is a
+// determinism-divergence: the snapshot contract — "run 2T" ≡ "run T,
+// snapshot, restore, run T" — is broken.
+func (r *Runner) RunSnapshot(sc Scenario) Result {
+	if err := sc.Validate(); err != nil {
+		return Result{Verdict: VerdictInvalid, Detail: err.Error()}
 	}
-	switch sc.Protocol {
-	case ProtoCounter1:
-		fcfg := flood.Counter1Config(lambda)
-		nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
-	case ProtoSSAF:
-		minDBm, maxDBm := ssafSpan(sc.Range)
-		fcfg := flood.SSAFConfig(lambda, minDBm, maxDBm)
-		nw.Install(func(n *node.Node) node.Protocol { return flood.New(&fcfg) })
-	case ProtoRouteless:
-		rcfg := routing.RoutelessConfig{Lambda: lambda}
-		nw.Install(func(n *node.Node) node.Protocol { return routing.NewRouteless(rcfg) })
-	case ProtoAODV:
-		acfg := routing.AODVConfig{NoHello: true}
-		nw.Install(func(n *node.Node) node.Protocol { return routing.NewAODV(acfg) })
-	case ProtoGradient:
-		nw.Install(func(n *node.Node) node.Protocol { return routing.NewGradient(routing.GradientConfig{}) })
-	default:
-		// Validate rejects unknown protocols before runOnce.
-		panic("fuzz: unknown protocol " + sc.Protocol)
+	full := r.runOnce(sc, 0)
+	if full.panicMsg != "" {
+		return Result{Verdict: VerdictPanic, Detail: full.panicMsg}
 	}
+	if full.buildErr != nil {
+		return Result{Verdict: VerdictInvalid, Detail: full.buildErr.Error()}
+	}
+	if len(full.violations) > 0 {
+		return Result{
+			Verdict:    VerdictViolation,
+			Detail:     full.violations[0].String(),
+			Violations: full.violations,
+		}
+	}
+	snap, err := r.snapshotOnce(sc)
+	if err != nil {
+		return Result{Verdict: VerdictDivergence,
+			Detail: "snapshot/restore diverged where the uninterrupted run was clean: " + err.Error()}
+	}
+	if !bytes.Equal(full.snap, snap) {
+		return Result{Verdict: VerdictDivergence,
+			Detail: fmt.Sprintf("restored run's final metrics differ from the uninterrupted run (%d vs %d bytes)",
+				len(full.snap), len(snap))}
+	}
+	m := full.metrics
+	return Result{Verdict: VerdictPass, Metrics: &m}
 }
 
-// ssafSpan mirrors the experiment harness's SSAF band: decode threshold
-// up to the power at one tenth of the transmission range.
-func ssafSpan(rangeM float64) (minDBm, maxDBm float64) {
-	model := propagation.NewFreeSpace()
-	params := phy.DefaultParams(model, rangeM)
-	minDBm = params.RxThreshDBm
-	maxDBm = propagation.ThresholdFor(model, params.TxPowerDBm, rangeM/10)
-	return
+// snapshotOnce runs to the midpoint, checkpoints, restores, finishes
+// the restored run, and returns its final metric snapshot bytes.
+func (r *Runner) snapshotOnce(sc Scenario) (snapBytes []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic during snapshot cross-check: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	run, err := scenario.Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	mid := run.End() / 2
+	if err := run.AdvanceTo(mid); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, run); err != nil {
+		return nil, err
+	}
+	restored, err := snapshot.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := restored.Finish(); err != nil {
+		return nil, fmt.Errorf("restored run violated invariants: %w", err)
+	}
+	b, merr := json.Marshal(restored.Network().Metrics.Snapshot())
+	if merr != nil {
+		panic(merr)
+	}
+	return b, nil
 }

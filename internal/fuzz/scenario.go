@@ -25,238 +25,38 @@
 // verdict list on every invocation.
 package fuzz
 
-import (
-	"fmt"
-	"math"
-	"slices"
+import "routeless/internal/scenario"
 
-	"routeless/internal/fault"
-	"routeless/internal/geo"
-	"routeless/internal/sim"
+// The scenario document itself was promoted to internal/scenario — the
+// unified run-description API shared by wmansim, simserve, snapshots,
+// and this fuzzer. These aliases keep the fuzzer's historical
+// vocabulary (and every committed fixture) meaning exactly what it
+// always meant; the generator now writes into the public document type.
+type (
+	Scenario  = scenario.Scenario
+	Flow      = scenario.Flow
+	Mobility  = scenario.Mobility
+	FaultSpec = scenario.FaultSpec
 )
 
-// Protocol names a scenario's network-layer protocol.
+// Protocol and placement vocabularies, re-exported.
 const (
-	ProtoCounter1  = "counter1"
-	ProtoSSAF      = "ssaf"
-	ProtoRouteless = "routeless"
-	ProtoAODV      = "aodv"
-	ProtoGradient  = "gradient"
+	ProtoCounter1  = scenario.ProtoCounter1
+	ProtoSSAF      = scenario.ProtoSSAF
+	ProtoRouteless = scenario.ProtoRouteless
+	ProtoAODV      = scenario.ProtoAODV
+	ProtoGradient  = scenario.ProtoGradient
+
+	PlaceUniform = scenario.PlaceUniform
+	PlaceCluster = scenario.PlaceCluster
+	PlaceLine    = scenario.PlaceLine
+	PlaceGrid    = scenario.PlaceGrid
 )
 
-// Placement names a scenario's topology style. Uniform placement is
-// what the paper's figures use; the others reach the adversarial
-// shapes a hand-picked evaluation never does — tight clusters bridged
-// by single links, boundary-dense chains, near-regular lattices.
-const (
-	PlaceUniform = "uniform"
-	PlaceCluster = "cluster"
-	PlaceLine    = "line"
-	PlaceGrid    = "grid"
-)
+// subGenerate is the generator's child stream label under
+// rng.StreamFuzz (placement and mobility labels live with the
+// scenario package, which owns those draws now).
+const subGenerate = scenario.SubGenerate
 
-// Flow is one CBR connection of the scenario's traffic mix.
-type Flow struct {
-	Src int `json:"src"`
-	Dst int `json:"dst"`
-}
-
-// Mobility switches on random-waypoint motion for the first Movers
-// nodes. Tiled scenarios must be static (tile re-binding is not
-// supported), which Validate enforces.
-type Mobility struct {
-	Movers   int     `json:"movers"`
-	MinSpeed float64 `json:"min_speed"` // m/s
-	MaxSpeed float64 `json:"max_speed"` // m/s
-}
-
-// FaultSpec is the data form of one fault-plane spec: fully
-// JSON-serializable, convertible to the typed fault.Plan entry. Fields
-// irrelevant to a Kind are ignored by it; zero values mean the fault
-// plane's defaults.
-type FaultSpec struct {
-	Kind string `json:"kind"` // "crash" | "drain" | "degrade" | "jam"
-
-	OffFraction float64 `json:"off_fraction,omitempty"` // crash
-	Cycle       float64 `json:"cycle,omitempty"`        // crash
-	Sleep       bool    `json:"sleep,omitempty"`        // crash
-	CapacityJ   float64 `json:"capacity_j,omitempty"`   // drain
-	OffsetDB    float64 `json:"offset_db,omitempty"`    // degrade
-	TxPowerDBm  float64 `json:"tx_power_dbm,omitempty"` // jam
-	SpeedMps    float64 `json:"speed_mps,omitempty"`    // jam
-	Period      float64 `json:"period,omitempty"`       // drain, degrade, jam
-	Duration    float64 `json:"duration,omitempty"`     // degrade
-	Burst       float64 `json:"burst,omitempty"`        // jam
-}
-
-// spec converts the data form to the typed fault-plane spec.
-func (f FaultSpec) spec() (fault.Spec, error) {
-	switch f.Kind {
-	case "crash":
-		return fault.CrashSpec{OffFraction: f.OffFraction, Cycle: f.Cycle, Sleep: f.Sleep}, nil
-	case "drain":
-		return fault.DrainSpec{CapacityJ: f.CapacityJ, Period: sim.Time(f.Period)}, nil
-	case "degrade":
-		return fault.DegradeSpec{OffsetDB: f.OffsetDB, Period: sim.Time(f.Period), Duration: sim.Time(f.Duration)}, nil
-	case "jam":
-		return fault.JamSpec{TxPowerDBm: f.TxPowerDBm, Period: sim.Time(f.Period), Burst: sim.Time(f.Burst), SpeedMps: f.SpeedMps}, nil
-	default:
-		return nil, fmt.Errorf("unknown fault kind %q", f.Kind)
-	}
-}
-
-// Scenario fully describes one simulation run: everything Run needs is
-// a field here, so a scenario serializes to a replayable JSON fixture
-// and two runs of one scenario are bitwise identical.
-type Scenario struct {
-	// Seed drives every random stream of the simulation itself
-	// (placement, traffic phases, MAC backoffs, fault processes).
-	Seed int64 `json:"seed"`
-
-	N         int     `json:"n"`
-	Width     float64 `json:"width"`  // terrain width, m
-	Height    float64 `json:"height"` // terrain height, m
-	Range     float64 `json:"range"`  // calibrated tx range, m
-	Placement string  `json:"placement"`
-	// Connected regenerates uniform placements until the unit-disk
-	// graph is connected; only valid with uniform placement (explicit
-	// position styles are used as drawn — disconnection is part of the
-	// adversarial space they exist to reach).
-	Connected bool `json:"connected,omitempty"`
-	// Fading adds Rayleigh small-scale fading. Incompatible with Tiles.
-	Fading bool `json:"fading,omitempty"`
-	// Tiles > 1 runs the scenario on the tiled PDES engine. Requires no
-	// fading and no mobility (the constraint matrix the tiled engine
-	// ships with).
-	Tiles int `json:"tiles,omitempty"`
-
-	Protocol string  `json:"protocol"`
-	Lambda   float64 `json:"lambda,omitempty"` // backoff quantum, s; 0 = protocol default
-
-	Flows    []Flow  `json:"flows"`
-	Interval float64 `json:"interval"`  // CBR interval, s
-	DataSize int     `json:"data_size"` // CBR payload, bytes
-	Duration float64 `json:"duration"`  // traffic seconds; runs drain 5 s past it
-
-	Mobility *Mobility   `json:"mobility,omitempty"`
-	Faults   []FaultSpec `json:"faults,omitempty"`
-}
-
-// Rect returns the scenario terrain.
-func (sc Scenario) Rect() geo.Rect { return geo.NewRect(sc.Width, sc.Height) }
-
-// Plan converts the scenario's fault specs into a typed fault.Plan.
-func (sc Scenario) Plan() (fault.Plan, error) {
-	if len(sc.Faults) == 0 {
-		return nil, nil
-	}
-	plan := make(fault.Plan, 0, len(sc.Faults))
-	for i, f := range sc.Faults {
-		s, err := f.spec()
-		if err != nil {
-			return nil, fmt.Errorf("fault %d: %w", i, err)
-		}
-		plan = append(plan, s)
-	}
-	return plan, nil
-}
-
-// protocols and placements are the closed vocabularies Validate checks
-// against.
-var protocols = []string{ProtoCounter1, ProtoSSAF, ProtoRouteless, ProtoAODV, ProtoGradient}
-var placements = []string{PlaceUniform, PlaceCluster, PlaceLine, PlaceGrid}
-
-func posFinite(name string, v float64) error {
-	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
-		return fmt.Errorf("%s must be positive and finite, got %v", name, v)
-	}
-	return nil
-}
-
-// Validate checks the scenario against the simulator's constraint
-// matrix and returns the first problem found. A scenario that
-// validates cleanly must never crash the simulator: anything that
-// still goes wrong downstream is a simulator bug by definition, which
-// is exactly the discrimination the fuzzer's verdicts rest on.
-func (sc Scenario) Validate() error {
-	if sc.N < 2 {
-		return fmt.Errorf("fuzz: N must be at least 2, got %d", sc.N)
-	}
-	if sc.N > 1_000_000 {
-		return fmt.Errorf("fuzz: N=%d exceeds the sanity cap", sc.N)
-	}
-	if err := posFinite("fuzz: Width", sc.Width); err != nil {
-		return err
-	}
-	if err := posFinite("fuzz: Height", sc.Height); err != nil {
-		return err
-	}
-	if err := posFinite("fuzz: Range", sc.Range); err != nil {
-		return err
-	}
-	if !slices.Contains(placements, sc.Placement) {
-		return fmt.Errorf("fuzz: unknown placement %q", sc.Placement)
-	}
-	if sc.Connected && sc.Placement != PlaceUniform {
-		return fmt.Errorf("fuzz: Connected requires uniform placement, got %q", sc.Placement)
-	}
-	if !slices.Contains(protocols, sc.Protocol) {
-		return fmt.Errorf("fuzz: unknown protocol %q", sc.Protocol)
-	}
-	if math.IsNaN(sc.Lambda) || math.IsInf(sc.Lambda, 0) || sc.Lambda < 0 {
-		return fmt.Errorf("fuzz: Lambda must be a finite non-negative number, got %v", sc.Lambda)
-	}
-	if err := posFinite("fuzz: Interval", sc.Interval); err != nil {
-		return err
-	}
-	if err := posFinite("fuzz: Duration", sc.Duration); err != nil {
-		return err
-	}
-	if sc.DataSize <= 0 {
-		return fmt.Errorf("fuzz: DataSize must be positive, got %d", sc.DataSize)
-	}
-	seen := make(map[Flow]bool, len(sc.Flows))
-	for i, f := range sc.Flows {
-		if f.Src < 0 || f.Src >= sc.N || f.Dst < 0 || f.Dst >= sc.N {
-			return fmt.Errorf("fuzz: flow %d (%d→%d) references nodes outside [0,%d)", i, f.Src, f.Dst, sc.N)
-		}
-		if f.Src == f.Dst {
-			return fmt.Errorf("fuzz: flow %d is a self-loop at node %d", i, f.Src)
-		}
-		if seen[f] {
-			return fmt.Errorf("fuzz: duplicate flow %d→%d", f.Src, f.Dst)
-		}
-		seen[f] = true
-	}
-	if m := sc.Mobility; m != nil {
-		if m.Movers < 1 || m.Movers > sc.N {
-			return fmt.Errorf("fuzz: Mobility.Movers must be in [1,%d], got %d", sc.N, m.Movers)
-		}
-		if math.IsNaN(m.MinSpeed) || math.IsInf(m.MinSpeed, 0) || m.MinSpeed < 0 ||
-			math.IsNaN(m.MaxSpeed) || math.IsInf(m.MaxSpeed, 0) || m.MaxSpeed < m.MinSpeed {
-			return fmt.Errorf("fuzz: mobility speeds must satisfy 0 <= min <= max and be finite, got [%v,%v]",
-				m.MinSpeed, m.MaxSpeed)
-		}
-	}
-	if sc.Tiles < 0 {
-		return fmt.Errorf("fuzz: Tiles must be non-negative, got %d", sc.Tiles)
-	}
-	if sc.Tiles > 1 {
-		// The tiled engine's constraint matrix: per-link fading draw
-		// order is sequential, and mobility would re-bind tiles.
-		if sc.Fading {
-			return fmt.Errorf("fuzz: tiled scenarios cannot use fading (tiles=%d)", sc.Tiles)
-		}
-		if sc.Mobility != nil {
-			return fmt.Errorf("fuzz: tiled scenarios cannot use mobility (tiles=%d)", sc.Tiles)
-		}
-	}
-	plan, err := sc.Plan()
-	if err != nil {
-		return fmt.Errorf("fuzz: %w", err)
-	}
-	if err := plan.Validate(); err != nil {
-		return err
-	}
-	return nil
-}
+var protocols = scenario.Protocols
+var placements = scenario.Placements

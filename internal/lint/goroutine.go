@@ -13,7 +13,11 @@ import (
 // engines built to contain it: internal/parallel (the goroutine pool),
 // internal/sweep (the cell scheduler on top of it), and internal/pdes
 // (the tiled intra-run engine, whose barrier protocol keeps each
-// kernel single-threaded within its windows).
+// kernel single-threaded within its windows). internal/serve is also
+// exempt — for sync imports only, not go statements: its mutexes guard
+// the HTTP-facing journal buffer and run registry, provably off the
+// simulation path (each run is owned by one sweep worker from build to
+// finish, and handlers never touch a live run).
 var Goroutine = &Analyzer{
 	Name: "goroutine",
 	Doc:  "forbid go statements and sync primitives in internal/ (except internal/parallel, internal/sweep, and internal/pdes); the kernel is sequential",
@@ -31,6 +35,11 @@ func runGoroutine(p *Pass) {
 				continue
 			}
 			if path == "sync" || path == "sync/atomic" {
+				if isServePkg(p.Path) {
+					// The HTTP layer may lock its client-facing
+					// buffers; runs still execute on sweep workers.
+					continue
+				}
 				p.Reportf(imp.Pos(), "import %q: sync primitives imply shared-state concurrency; the simulation kernel is sequential (only internal/parallel, internal/sweep, and internal/pdes may coordinate goroutines)", path)
 			}
 		}
@@ -47,4 +56,8 @@ func isWorkerPoolPkg(path string) bool {
 	return strings.HasSuffix(path, "/internal/parallel") || path == "internal/parallel" ||
 		strings.HasSuffix(path, "/internal/sweep") || path == "internal/sweep" ||
 		strings.HasSuffix(path, "/internal/pdes") || path == "internal/pdes"
+}
+
+func isServePkg(path string) bool {
+	return strings.HasSuffix(path, "/internal/serve") || path == "internal/serve"
 }

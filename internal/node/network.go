@@ -71,6 +71,12 @@ type Config struct {
 	// this is opt-in: results stay deterministic and seed-stable, but
 	// are not comparable to a non-compact run of the same seed.
 	CompactRNG bool
+	// RNG, when non-nil, routes every random-stream creation through
+	// the tracker so draw counts become observable state (snapshot
+	// fingerprints hash them). Tracked streams produce the identical
+	// draw sequences — the tracker observes, never perturbs — so this
+	// too changes no results.
+	RNG *rng.Tracker
 }
 
 // AutoTiles is the Config.Tiles sentinel that sizes the PDES tiling
@@ -141,6 +147,12 @@ type Network struct {
 	Rect    geo.Rect
 	Seed    int64
 
+	// RNG is the draw tracker every stream was created through, when
+	// the network was built with Config.RNG (nil otherwise). The fault
+	// plane and mobility route their stream creation through it too, so
+	// a tracked network's entire randomness consumption is observable.
+	RNG *rng.Tracker
+
 	// TileKernels holds one kernel per PDES tile; nil when sequential.
 	TileKernels []*sim.Kernel
 	// tileWorkers bounds the PDES pool (0 = GOMAXPROCS).
@@ -197,6 +209,21 @@ func TryNew(cfg Config) (*Network, error) {
 		macCfg = *cfg.MAC
 	}
 
+	// Stream constructors, optionally routed through the draw tracker.
+	// Either path yields the identical draw sequences.
+	newStream := rng.New
+	forNode := rng.ForNode
+	if cfg.CompactRNG {
+		forNode = rng.ForNodeCompact
+	}
+	if cfg.RNG != nil {
+		newStream = cfg.RNG.New
+		forNode = cfg.RNG.ForNode
+		if cfg.CompactRNG {
+			forNode = cfg.RNG.ForNodeCompact
+		}
+	}
+
 	rt := cfg.Runtime
 	if rt == nil {
 		rt = NewRuntime()
@@ -231,7 +258,7 @@ func TryNew(cfg Config) (*Network, error) {
 		if cfg.N <= 0 {
 			return nil, fmt.Errorf("node: Config.N must be positive without explicit positions, got %d", cfg.N)
 		}
-		placer := rng.New(cfg.Seed, rng.StreamTopology)
+		placer := newStream(cfg.Seed, rng.StreamTopology)
 		positions = geo.UniformPoints(placer, cfg.Rect, cfg.N)
 		if cfg.EnsureConnected {
 			for try := 0; try < 100; try++ {
@@ -256,7 +283,7 @@ func TryNew(cfg Config) (*Network, error) {
 		Model:        cfg.Model,
 		Fader:        cfg.Fader,
 		FadeMarginDB: cfg.FadeMarginDB,
-		Rng:          rng.New(cfg.Seed, rng.StreamChannel),
+		Rng:          newStream(cfg.Seed, rng.StreamChannel),
 		Pools:        rt.Phy,
 		Ranges:       rt.Ranges,
 		LinkCacheCap: cfg.LinkCacheCap,
@@ -288,6 +315,7 @@ func TryNew(cfg Config) (*Network, error) {
 	ch := phy.NewChannel(kernel, cfg.Rect, positions, params, chCfg)
 
 	nw := &Network{Kernel: kernel, Channel: ch, Rect: cfg.Rect, Seed: cfg.Seed,
+		RNG:         cfg.RNG,
 		TileKernels: tileKernels, tileWorkers: cfg.TileWorkers,
 		Metrics: metrics.NewRegistry()}
 	ch.RegisterMetrics(nw.Metrics)
@@ -298,10 +326,6 @@ func TryNew(cfg Config) (*Network, error) {
 	arena := make([]Node, len(positions))
 	macArena := make([]mac.MAC, len(positions))
 	macs := make([]*mac.MAC, len(positions))
-	forNode := rng.ForNode
-	if cfg.CompactRNG {
-		forNode = rng.ForNodeCompact
-	}
 	for i := range positions {
 		nk := kernel
 		tile := 0

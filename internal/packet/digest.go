@@ -1,0 +1,29 @@
+package packet
+
+import "routeless/internal/digest"
+
+// DigestTo folds the key into h. Shared by every layer that keys
+// per-flow state on FlowKey, so all digests spell the key identically.
+func (k FlowKey) DigestTo(h *digest.Hash) {
+	h.Int64(int64(k.Origin))
+	h.Byte(byte(k.Kind))
+	h.Uint64(uint64(k.Seq))
+}
+
+// DigestState folds the cache's behavioral state into h: capacity,
+// population, and every remembered key in insertion order. The order
+// slice is the deterministic iteration surface — hashing the map would
+// require a sort, and the FIFO order itself is state (it decides which
+// key the next insert evicts).
+func (c *DedupCache) DigestState(h *digest.Hash) {
+	if c == nil {
+		h.Bool(false)
+		return
+	}
+	h.Bool(true)
+	h.Int(c.cap)
+	h.Int(len(c.order))
+	for _, k := range c.order {
+		k.DigestTo(h)
+	}
+}

@@ -1,27 +1,31 @@
-package fuzz
+package scenario
 
 import (
 	"math"
-	"math/rand"
 
 	"routeless/internal/geo"
 	"routeless/internal/rng"
 )
 
-// Sub-stream labels under rng.StreamFuzz. The generator, the placement
-// builders, and per-node mobility each own a child stream, so adding a
-// draw to one never perturbs another.
+// Sub-stream labels under rng.StreamFuzz. The generator (owned by
+// internal/fuzz), the placement builders, and per-node mobility each
+// own a child stream, so adding a draw to one never perturbs another.
+// SubGenerate and SubMobility are exported for the fuzzer and Build
+// respectively; the label values are frozen — they are part of every
+// committed fixture's meaning.
 const (
-	subGenerate uint64 = 1 + iota
+	SubGenerate uint64 = 1 + iota
 	subPlacement
-	subMobility
+	SubMobility
 )
 
 // positions returns explicit node positions for the scenario's
 // placement style, or nil for uniform placement (which the network
 // builder draws itself from the scenario seed, exactly as experiments
 // do). Explicit styles draw from the scenario's placement sub-stream,
-// so a Scenario value pins its topology bit-for-bit.
+// so a Scenario value pins its topology bit-for-bit. Placement is a
+// pure function of the document — it runs before the network exists —
+// so these draws are not live simulator state and stay untracked.
 func positions(sc Scenario) []geo.Point {
 	switch sc.Placement {
 	case PlaceCluster:
@@ -105,9 +109,4 @@ func gridPositions(sc Scenario) []geo.Point {
 		}
 	}
 	return pts
-}
-
-// mobilityRng returns node i's waypoint stream.
-func mobilityRng(seed int64, i int) *rand.Rand {
-	return rng.New(seed, rng.StreamFuzz, subMobility, uint64(i))
 }

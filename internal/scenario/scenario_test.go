@@ -1,0 +1,102 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"routeless/internal/scenario"
+)
+
+func validDoc() scenario.Scenario {
+	return scenario.Scenario{
+		Seed: 7, N: 12, Width: 400, Height: 300, Range: 150,
+		Placement: scenario.PlaceUniform, Protocol: scenario.ProtoSSAF,
+		Flows:    []scenario.Flow{{Src: 0, Dst: 11}},
+		Interval: 1, DataSize: 256, Duration: 2, JournalEvery: 1,
+	}
+}
+
+// TestParseRoundTrip: a marshalled valid document parses back to the
+// identical value, so the JSON surface is lossless for API clients.
+func TestParseRoundTrip(t *testing.T) {
+	want := validDoc()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseTypedErrors: every malformed or invalid document fails with
+// the documented sentinel before any simulator code can panic. These
+// are the regression tests for the API error contract: serve and
+// wmansim map ErrParse/ErrInvalid to client errors, anything else to
+// server errors.
+func TestParseTypedErrors(t *testing.T) {
+	mutate := func(f func(*scenario.Scenario)) []byte {
+		sc := validDoc()
+		f(&sc)
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"garbage", []byte("{not json"), scenario.ErrParse},
+		{"empty", []byte(""), scenario.ErrParse},
+		{"unknown-field", []byte(`{"seed":1,"bogus":true}`), scenario.ErrParse},
+		{"trailing-data", []byte(`{"seed":1} {"seed":2}`), scenario.ErrParse},
+		{"wrong-type", []byte(`{"n":"twelve"}`), scenario.ErrParse},
+		{"n-too-small", mutate(func(sc *scenario.Scenario) { sc.N = 1 }), scenario.ErrInvalid},
+		{"future-version", mutate(func(sc *scenario.Scenario) { sc.Ver = 99 }), scenario.ErrInvalid},
+		{"negative-journal", mutate(func(sc *scenario.Scenario) { sc.JournalEvery = -1 }), scenario.ErrInvalid},
+		{"bad-protocol", mutate(func(sc *scenario.Scenario) { sc.Protocol = "ospf" }), scenario.ErrInvalid},
+		{"self-loop-flow", mutate(func(sc *scenario.Scenario) { sc.Flows = []scenario.Flow{{Src: 3, Dst: 3}} }), scenario.ErrInvalid},
+		{"flow-out-of-range", mutate(func(sc *scenario.Scenario) { sc.Flows = []scenario.Flow{{Src: 0, Dst: 12}} }), scenario.ErrInvalid},
+		{"tiled-fading", mutate(func(sc *scenario.Scenario) { sc.Tiles = 4; sc.Fading = true }), scenario.ErrInvalid},
+		{"exclude-out-of-range", mutate(func(sc *scenario.Scenario) {
+			sc.Faults = []scenario.FaultSpec{{Kind: "crash", OffFraction: 0.1, Exclude: []int{99}}}
+		}), scenario.ErrInvalid},
+		{"exclude-wrong-kind", mutate(func(sc *scenario.Scenario) {
+			sc.Faults = []scenario.FaultSpec{{Kind: "jam", Exclude: []int{0}}}
+		}), scenario.ErrInvalid},
+	}
+	for _, tc := range cases {
+		_, err := scenario.Parse(tc.data)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBuildTypedError: a document that validates but cannot be built
+// (here: a connectivity requirement the geometry cannot satisfy)
+// surfaces as ErrBuild, never a panic.
+func TestBuildTypedError(t *testing.T) {
+	sc := validDoc()
+	sc.N = 2
+	sc.Width, sc.Height = 400, 300
+	sc.Range = 1 // two nodes within 1m of each other in a 400x300 arena: no seeded draw connects
+	sc.Connected = true
+	sc.Flows = []scenario.Flow{{Src: 0, Dst: 1}}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("document should validate: %v", err)
+	}
+	_, err := scenario.Build(sc)
+	if !errors.Is(err, scenario.ErrBuild) {
+		t.Fatalf("got %v, want errors.Is(ErrBuild)", err)
+	}
+}

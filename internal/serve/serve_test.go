@@ -1,0 +1,281 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"routeless/internal/metrics"
+	"routeless/internal/scenario"
+	"routeless/internal/serve"
+)
+
+// testScenario is a small journaled run: enough traffic to produce
+// several epoch records, fast enough for CI.
+func testScenario() scenario.Scenario {
+	return scenario.Scenario{
+		Seed: 1, N: 30, Width: 565, Height: 565, Range: 250,
+		Placement: scenario.PlaceUniform, Connected: true,
+		Protocol: scenario.ProtoSSAF,
+		Flows: []scenario.Flow{
+			{Src: 3, Dst: 17}, {Src: 21, Dst: 4}, {Src: 9, Dst: 28},
+		},
+		Interval: 2, DataSize: 512, Duration: 5,
+		JournalEvery: 1,
+	}
+}
+
+func startServer(t *testing.T) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	s := serve.New(2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, s
+}
+
+func postJSON(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, b
+}
+
+func createRun(t *testing.T, base string, sc scenario.Scenario) string {
+	t.Helper()
+	body, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, resp := postJSON(t, base+"/runs", body)
+	if code != http.StatusCreated {
+		t.Fatalf("POST /runs: status %d, body %s", code, resp)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &created); err != nil || created.ID == "" {
+		t.Fatalf("bad create response %s (err %v)", resp, err)
+	}
+	return created.ID
+}
+
+// tailJournal blocks until the run's journal stream ends and returns
+// every byte.
+func tailJournal(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/runs/%s/journal", base, id))
+	if err != nil {
+		t.Fatalf("GET journal: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET journal: status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read journal stream: %v", err)
+	}
+	return b
+}
+
+// batchJournal runs the same scenario through the direct scenario API —
+// the `wmansim -scenario -journal` code path — and returns the bytes.
+func batchJournal(t *testing.T, sc scenario.Scenario) []byte {
+	t.Helper()
+	run, err := scenario.Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run.SetJournal(metrics.NewJournal(&buf))
+	if _, err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamedJournalEqualsBatch is the serving contract: the bytes a
+// client tails from a live run equal the batch CLI's journal bytes for
+// the same document.
+func TestStreamedJournalEqualsBatch(t *testing.T) {
+	ts, _ := startServer(t)
+	sc := testScenario()
+	id := createRun(t, ts.URL, sc)
+	streamed := tailJournal(t, ts.URL, id)
+	batch := batchJournal(t, sc)
+	if !bytes.Equal(streamed, batch) {
+		t.Fatalf("streamed journal (%d bytes) != batch journal (%d bytes)",
+			len(streamed), len(batch))
+	}
+}
+
+// TestStatusLifecycle checks the status document reaches done with
+// metrics and no error.
+func TestStatusLifecycle(t *testing.T) {
+	ts, _ := startServer(t)
+	id := createRun(t, ts.URL, testScenario())
+	tailJournal(t, ts.URL, id) // blocks until done
+	resp, err := http.Get(ts.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID      string          `json:"id"`
+		Now     float64         `json:"now"`
+		End     float64         `json:"end"`
+		Done    bool            `json:"done"`
+		Err     string          `json:"error"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Err != "" || st.ID != id {
+		t.Fatalf("bad status: %+v", st)
+	}
+	if st.Now != st.End || st.End != 10 {
+		t.Fatalf("status clock: now=%g end=%g", st.Now, st.End)
+	}
+	if len(st.Metrics) == 0 {
+		t.Fatal("status missing final metrics")
+	}
+}
+
+// TestSnapshotResumeSplice checkpoints a live run, resumes it as a new
+// run, and splices the two journal streams: prefix (records before the
+// checkpoint) + resumed suffix must equal the uninterrupted batch
+// bytes.
+func TestSnapshotResumeSplice(t *testing.T) {
+	ts, _ := startServer(t)
+	sc := testScenario()
+	id := createRun(t, ts.URL, sc)
+
+	// Checkpoint at t=5 (a chunk boundary: JournalEvery=1).
+	code, doc := postJSON(t, fmt.Sprintf("%s/runs/%s/snapshot?at=5", ts.URL, id), nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: status %d, body %s", code, doc)
+	}
+	full := tailJournal(t, ts.URL, id)
+
+	// The journal prefix is every record at or before t=5: the start
+	// record plus epochs 1..5. Records are newline-delimited JSONL.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	var prefix []byte
+	for _, ln := range lines {
+		if len(ln) == 0 {
+			continue
+		}
+		prefix = append(prefix, ln...)
+		if bytes.Contains(ln, []byte(`"epoch t=5"`)) {
+			break
+		}
+	}
+
+	code, resp := postJSON(t, fmt.Sprintf("%s/runs/%s/resume", ts.URL, id), doc)
+	if code != http.StatusCreated {
+		t.Fatalf("resume: status %d, body %s", code, resp)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(resp, &created); err != nil {
+		t.Fatal(err)
+	}
+	suffix := tailJournal(t, ts.URL, created.ID)
+
+	spliced := append(append([]byte(nil), prefix...), suffix...)
+	if !bytes.Equal(spliced, full) {
+		t.Fatalf("spliced journal (%d bytes) != full journal (%d bytes)",
+			len(spliced), len(full))
+	}
+}
+
+// TestRejectsMalformedScenario: parse and validation failures surface
+// as 400s with the typed error message, never as panics.
+func TestRejectsMalformedScenario(t *testing.T) {
+	ts, _ := startServer(t)
+	for name, body := range map[string]string{
+		"garbage":       "{not json",
+		"unknown-field": `{"seed":1,"n":5,"bogus":true}`,
+		"invalid-doc":   `{"seed":1,"n":0,"width":100,"height":100,"range":50,"placement":"uniform","protocol":"ssaf","flows":[],"interval":1,"data_size":64,"duration":1}`,
+	} {
+		code, resp := postJSON(t, ts.URL+"/runs", []byte(body))
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", name, code, resp)
+		}
+	}
+}
+
+// TestRejectsTruncatedSnapshot: resume with a cut-off document is a
+// 400, and the error names the truncation.
+func TestRejectsTruncatedSnapshot(t *testing.T) {
+	ts, _ := startServer(t)
+	sc := testScenario()
+	id := createRun(t, ts.URL, sc)
+	code, doc := postJSON(t, fmt.Sprintf("%s/runs/%s/snapshot?at=2", ts.URL, id), nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	tailJournal(t, ts.URL, id)
+	code, resp := postJSON(t, fmt.Sprintf("%s/runs/%s/resume", ts.URL, id), doc[:len(doc)/2])
+	if code != http.StatusBadRequest {
+		t.Fatalf("truncated resume: status %d, body %s", code, resp)
+	}
+	if !bytes.Contains(resp, []byte("truncated")) {
+		t.Fatalf("error does not name truncation: %s", resp)
+	}
+}
+
+// TestSnapshotAfterFinish: a snapshot is a pure function of the run's
+// document, so checkpointing a finished run still works — the server
+// replays a twin — and the document resumes like any other.
+func TestSnapshotAfterFinish(t *testing.T) {
+	ts, _ := startServer(t)
+	id := createRun(t, ts.URL, testScenario())
+	tailJournal(t, ts.URL, id) // run is fully finished now
+	code, doc := postJSON(t, fmt.Sprintf("%s/runs/%s/snapshot?at=3", ts.URL, id), nil)
+	if code != http.StatusOK {
+		t.Fatalf("post-finish snapshot: status %d, body %s", code, doc)
+	}
+	code, resp := postJSON(t, fmt.Sprintf("%s/runs/%s/resume", ts.URL, id), doc)
+	if code != http.StatusCreated {
+		t.Fatalf("resume: status %d, body %s", code, resp)
+	}
+	// A checkpoint past the run's end is unreachable by replay.
+	code, resp = postJSON(t, fmt.Sprintf("%s/runs/%s/snapshot?at=99", ts.URL, id), nil)
+	if code != http.StatusConflict {
+		t.Fatalf("out-of-range snapshot: status %d, body %s", code, resp)
+	}
+}
+
+// TestUnknownRun: every per-run route 404s on an unknown id.
+func TestUnknownRun(t *testing.T) {
+	ts, _ := startServer(t)
+	resp, err := http.Get(ts.URL + "/runs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	code, _ := postJSON(t, ts.URL+"/runs/nope/snapshot", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("snapshot: %d", code)
+	}
+}

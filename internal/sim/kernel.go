@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 )
 
 // Time is simulation time in seconds since the start of the run.
@@ -102,6 +103,14 @@ func NewEventPool() *EventPool { return &EventPool{} }
 // FreeLen returns the current free-list length (spare events held).
 func (p *EventPool) FreeLen() int { return len(p.free) }
 
+// Live returns the number of events currently checked out. Live and
+// Peak are behavioral state — they rebuild identically when the same
+// schedule replays — while FreeLen is allocation history (how warm the
+// pool happened to be), which NewKernelPooled's bit-for-bit equivalence
+// contract explicitly keeps out of results; snapshot fingerprints hash
+// the former and ignore the latter.
+func (p *EventPool) Live() int { return p.live }
+
 // Peak returns the high-water checked-out event count since the last
 // Reset — the watermark Reset shrinks to.
 func (p *EventPool) Peak() int { return p.peak }
@@ -189,6 +198,51 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events currently queued.
 func (k *Kernel) Pending() int { return len(k.events) }
+
+// Seq returns the scheduling sequence counter: the total number of
+// events ever queued on this kernel. Together with Now, Processed, and
+// the pending (at, seq) keys it pins the scheduler's externally
+// observable state exactly — a restored kernel whose Seq differs would
+// break ties differently on the very next same-time scheduling race.
+func (k *Kernel) Seq() uint64 { return k.seq }
+
+// EventKey is one pending event's position in the execution order.
+type EventKey struct {
+	At  Time
+	Seq uint64
+}
+
+// PendingKeys returns the (at, seq) key of every pending event in
+// ascending execution order. The heap's internal layout is shape-
+// dependent, but the sorted key sequence is not, so this is the
+// canonical form snapshot fingerprints hash. It allocates; not for hot
+// paths.
+func (k *Kernel) PendingKeys() []EventKey {
+	keys := make([]EventKey, len(k.events))
+	for i, hn := range k.events {
+		keys[i] = EventKey{At: hn.at, Seq: hn.seq}
+	}
+	slices.SortFunc(keys, func(a, b EventKey) int {
+		if a.At < b.At {
+			return -1
+		}
+		if a.At > b.At {
+			return 1
+		}
+		if a.Seq < b.Seq {
+			return -1
+		}
+		if a.Seq > b.Seq {
+			return 1
+		}
+		return 0
+	})
+	return keys
+}
+
+// Pool returns the kernel's event pool (never nil: NewKernelPooled
+// substitutes a private pool when handed none).
+func (k *Kernel) Pool() *EventPool { return k.pool }
 
 // Schedule queues fn to run delay seconds after the current time and
 // returns the event handle. A negative delay panics: an event in the

@@ -1,0 +1,290 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"routeless/internal/metrics"
+	"routeless/internal/scenario"
+	"routeless/internal/sim"
+	"routeless/internal/snapshot"
+)
+
+// fig1Scenario mirrors the fig1_tiny golden configuration: 30 nodes on
+// a 565 m square at 250 m range, 8 random flows at 2 s intervals, 5 s
+// of traffic — the same shape the journal CI gate runs.
+func fig1Scenario(proto string, tiles int) scenario.Scenario {
+	return scenario.Scenario{
+		Seed: 1, N: 30, Width: 565, Height: 565, Range: 250,
+		Placement: scenario.PlaceUniform, Connected: true,
+		Tiles:    tiles,
+		Protocol: proto,
+		Flows: []scenario.Flow{
+			{Src: 3, Dst: 17}, {Src: 21, Dst: 4}, {Src: 9, Dst: 28},
+			{Src: 14, Dst: 0}, {Src: 26, Dst: 11}, {Src: 7, Dst: 19},
+			{Src: 2, Dst: 23}, {Src: 29, Dst: 8},
+		},
+		Interval: 2, DataSize: 512, Duration: 5,
+		JournalEvery: 1,
+	}
+}
+
+// churnScenario mirrors the churn_tiny golden configuration: the same
+// terrain under a three-spec fault plan (crash duty cycles sparing the
+// traffic endpoints, periodic link degradation, a roaming jammer) with
+// bidirectional flows.
+func churnScenario(proto string, tiles int) scenario.Scenario {
+	intensity := 0.15
+	return scenario.Scenario{
+		Seed: 1, N: 30, Width: 565, Height: 565, Range: 250,
+		Placement: scenario.PlaceUniform, Connected: true,
+		Tiles:    tiles,
+		Protocol: proto,
+		Flows: []scenario.Flow{
+			{Src: 0, Dst: 15}, {Src: 15, Dst: 0},
+			{Src: 1, Dst: 16}, {Src: 16, Dst: 1},
+			{Src: 2, Dst: 17}, {Src: 17, Dst: 2},
+		},
+		Interval: 2, DataSize: 512, Duration: 5,
+		JournalEvery: 1,
+		Faults: []scenario.FaultSpec{
+			{Kind: "crash", OffFraction: intensity,
+				Exclude: []int{0, 1, 2, 15, 16, 17}},
+			{Kind: "degrade", OffsetDB: -25, Period: 0.05 / intensity},
+			{Kind: "jam", TxPowerDBm: 24.5, Period: 0.05 / intensity},
+		},
+	}
+}
+
+// runFull runs sc uninterrupted under a journal and returns the journal
+// bytes and the final metrics snapshot JSON.
+func runFull(t *testing.T, sc scenario.Scenario) (journal, snap []byte) {
+	t.Helper()
+	run, err := scenario.Build(sc)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	run.SetJournal(metrics.NewJournal(&buf))
+	if _, err := run.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return buf.Bytes(), finalSnap(t, run)
+}
+
+func finalSnap(t *testing.T, run *scenario.Run) []byte {
+	t.Helper()
+	b, err := json.Marshal(run.Network().Metrics.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	return b
+}
+
+// saveAt builds sc, journals it, advances to time at, and returns the
+// snapshot document plus the journal prefix written so far.
+func saveAt(t *testing.T, sc scenario.Scenario, at float64) (doc, prefix []byte) {
+	t.Helper()
+	run, err := scenario.Build(sc)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var jbuf bytes.Buffer
+	run.SetJournal(metrics.NewJournal(&jbuf))
+	if err := run.AdvanceTo(sim.Time(at)); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	var sbuf bytes.Buffer
+	if err := snapshot.Save(&sbuf, run); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return sbuf.Bytes(), jbuf.Bytes()
+}
+
+// resume restores a snapshot document, attaches a fresh journal, and
+// finishes the run, returning the suffix journal bytes and final
+// metrics snapshot.
+func resume(t *testing.T, doc []byte) (suffix, snap []byte) {
+	t.Helper()
+	run, err := snapshot.Load(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var jbuf bytes.Buffer
+	run.SetJournal(metrics.NewJournal(&jbuf))
+	if _, err := run.Finish(); err != nil {
+		t.Fatalf("restored Finish: %v", err)
+	}
+	return jbuf.Bytes(), finalSnap(t, run)
+}
+
+// TestRoundTripOracle is the bitwise checkpoint contract: for every
+// golden-journal-shaped scenario at every tile count the journal gates
+// run, "run 2T" must equal "run T, snapshot, restore, run T" — journal
+// bytes and final metric snapshot both.
+func TestRoundTripOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   func(string, int) scenario.Scenario
+		pros []string
+	}{
+		{"fig1", fig1Scenario, []string{scenario.ProtoCounter1, scenario.ProtoSSAF}},
+		{"churn", churnScenario, []string{scenario.ProtoRouteless, scenario.ProtoAODV, scenario.ProtoGradient}},
+	}
+	for _, tc := range cases {
+		for _, proto := range tc.pros {
+			for _, tiles := range []int{1, 4, 16} {
+				t.Run(fmt.Sprintf("%s/%s/tiles=%d", tc.name, proto, tiles), func(t *testing.T) {
+					t.Parallel()
+					sc := tc.sc(proto, tiles)
+					fullJournal, fullSnap := runFull(t, sc)
+					doc, prefix := saveAt(t, sc, (sc.Duration+5)/2)
+					suffix, restoredSnap := resume(t, doc)
+
+					spliced := append(append([]byte(nil), prefix...), suffix...)
+					if !bytes.Equal(fullJournal, spliced) {
+						t.Errorf("journal bytes diverge: full %d bytes, spliced %d bytes",
+							len(fullJournal), len(spliced))
+					}
+					if !bytes.Equal(fullSnap, restoredSnap) {
+						t.Errorf("final metrics diverge: full %d bytes, restored %d bytes",
+							len(fullSnap), len(restoredSnap))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotAtEveryEpoch snapshots a fig1-shaped run at every journal
+// epoch boundary and checks the contract at each: no boundary may be
+// special-cased (the traffic stop and the final drain are both inside
+// the swept range).
+func TestSnapshotAtEveryEpoch(t *testing.T) {
+	sc := fig1Scenario(scenario.ProtoSSAF, 1)
+	fullJournal, fullSnap := runFull(t, sc)
+	end := sc.Duration + 5 // drain window
+	for at := sc.JournalEvery; at < end; at += sc.JournalEvery {
+		at := at
+		t.Run(fmt.Sprintf("t=%g", at), func(t *testing.T) {
+			t.Parallel()
+			doc, prefix := saveAt(t, sc, at)
+			suffix, restoredSnap := resume(t, doc)
+			spliced := append(append([]byte(nil), prefix...), suffix...)
+			if !bytes.Equal(fullJournal, spliced) {
+				t.Errorf("journal bytes diverge at t=%g", at)
+			}
+			if !bytes.Equal(fullSnap, restoredSnap) {
+				t.Errorf("final metrics diverge at t=%g", at)
+			}
+		})
+	}
+}
+
+// TestGoldenJournalLinkage ties the scenario path to the committed
+// golden journals indirectly: the fig1-shaped scenario's metric
+// snapshot must be identical between two independent builds — the
+// determinism base the journal gates stand on.
+func TestGoldenJournalLinkage(t *testing.T) {
+	sc := fig1Scenario(scenario.ProtoCounter1, 1)
+	_, a := runFull(t, sc)
+	_, b := runFull(t, sc)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed scenario runs diverge (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestSaveRejectsFinishedRun: a folded run cannot be checkpointed.
+func TestSaveRejectsFinishedRun(t *testing.T) {
+	run, err := scenario.Build(fig1Scenario(scenario.ProtoCounter1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, run); err == nil {
+		t.Fatal("Save accepted a finished run")
+	}
+}
+
+// TestTruncation cuts a valid document at every byte boundary and
+// demands a typed error, never a panic and never success.
+func TestTruncation(t *testing.T) {
+	doc, _ := saveAt(t, fig1Scenario(scenario.ProtoCounter1, 1), 5)
+	for cut := 0; cut < len(doc); cut++ {
+		if _, err := snapshot.Read(bytes.NewReader(doc[:cut])); err == nil {
+			t.Fatalf("cut at %d/%d bytes: Read succeeded", cut, len(doc))
+		} else if !errors.Is(err, snapshot.ErrTruncated) && !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("cut at %d/%d bytes: untyped error %v", cut, len(doc), err)
+		}
+	}
+}
+
+// TestCorruption flips one bit in each region of the document and
+// demands a typed refusal: ErrCorrupt from the CRC (or framing),
+// ErrVersion when the flip lands in the version word, ErrTruncated when
+// it inflates the length field past the available bytes.
+func TestCorruption(t *testing.T) {
+	doc, _ := saveAt(t, fig1Scenario(scenario.ProtoCounter1, 1), 5)
+	for _, pos := range []int{1, 9, 13, len(doc) / 2, len(doc) - 30, len(doc) - 2} {
+		mut := append([]byte(nil), doc...)
+		mut[pos] ^= 0x10
+		if _, err := snapshot.Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at %d: Read succeeded", pos)
+		} else if !errors.Is(err, snapshot.ErrCorrupt) && !errors.Is(err, snapshot.ErrVersion) &&
+			!errors.Is(err, snapshot.ErrTruncated) {
+			t.Fatalf("bit flip at %d: untyped error %v", pos, err)
+		}
+	}
+}
+
+// TestVersionMismatch bumps the version field (fixing the CRC) and
+// demands ErrVersion.
+func TestVersionMismatch(t *testing.T) {
+	doc, _ := saveAt(t, fig1Scenario(scenario.ProtoCounter1, 1), 5)
+	mut := append([]byte(nil), doc...)
+	mut[8] = 99 // version lives right after the 8-byte magic
+	if _, err := snapshot.Read(bytes.NewReader(mut)); err == nil {
+		t.Fatal("Read accepted a future version")
+	} else if !errors.Is(err, snapshot.ErrVersion) && !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("untyped error: %v", err)
+	}
+}
+
+// TestStateMismatch tampers with a digest word and re-fixes the CRC:
+// the restore must replay cleanly and then refuse, naming the
+// component.
+func TestStateMismatch(t *testing.T) {
+	doc, _ := saveAt(t, fig1Scenario(scenario.ProtoCounter1, 1), 5)
+	d, err := snapshot.Read(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Digest.State ^= 1
+	if _, err := d.Restore(scenario.BuildOptions{}); err == nil {
+		t.Fatal("Restore accepted a tampered state digest")
+	} else if !errors.Is(err, snapshot.ErrStateMismatch) {
+		t.Fatalf("untyped error: %v", err)
+	}
+}
+
+// TestReadRoundTrip checks the document codec in isolation.
+func TestReadRoundTrip(t *testing.T) {
+	sc := churnScenario(scenario.ProtoRouteless, 4)
+	doc, _ := saveAt(t, sc, 5)
+	d, err := snapshot.Read(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scenario.Protocol != sc.Protocol || d.Scenario.Tiles != sc.Tiles {
+		t.Fatalf("decoded scenario mismatch: %+v", d.Scenario)
+	}
+	if float64(d.T) != (sc.Duration+5)/2 {
+		t.Fatalf("decoded pause time %v", d.T)
+	}
+}

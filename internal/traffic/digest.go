@@ -1,0 +1,13 @@
+package traffic
+
+import "routeless/internal/digest"
+
+// DigestState folds the flow's generation state into h. The ticker's
+// armed deadline is captured by the kernel's pending-event digest;
+// what is ours is the target and how many packets this flow has
+// generated so far.
+func (c *CBR) DigestState(h *digest.Hash) {
+	h.Int64(int64(c.target))
+	h.Float64(float64(c.Interval))
+	h.Uint64(c.sent)
+}
